@@ -1,0 +1,54 @@
+"""Ablation: acquisition extensions beyond the paper's six strategies.
+
+* ``pwu-cost`` — Equation 1 divided by the predicted labeling cost
+  (σ/μ^(2-α)): the greedy policy for the paper's CC metric.
+* ``ei`` — SMAC-style Expected Improvement (optimisation-oriented
+  acquisition, from the paper's related work).
+
+Both are compared against plain PWU on one kernel at matched budgets.
+"""
+
+import numpy as np
+from conftest import env_seed, once, write_panel
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_strategy
+
+KERNEL = "gemver"
+STRATEGIES = ("pwu", "pwu-cost", "ei")
+
+
+def test_ablation_acquisition_extras(benchmark, scale, output_dir):
+    def run_all():
+        return {
+            s: run_strategy(KERNEL, s, scale, seed=env_seed(), alpha=0.05)
+            for s in STRATEGIES
+        }
+
+    traces = once(benchmark, run_all)
+    rows = [
+        [
+            s,
+            f"{t.rmse_mean['0.05'][-1]:.4f}",
+            f"{t.rmse_mean['0.05'].min():.4f}",
+            f"{t.cc_mean[-1]:.1f}",
+        ]
+        for s, t in traces.items()
+    ]
+    write_panel(
+        output_dir,
+        "ablation_acquisition_extras",
+        format_table(
+            ["strategy", "final RMSE@5%", "min RMSE@5%", "final CC (s)"],
+            rows,
+            title=f"Ablation: acquisition extensions on {KERNEL}",
+        ),
+    )
+
+    for t in traces.values():
+        assert np.isfinite(t.rmse_mean["0.05"]).all()
+        assert t.n_train[-1] == scale.n_max
+
+    # The cost-aware variant must actually be cheaper per run than plain
+    # PWU — that is its entire point.
+    assert traces["pwu-cost"].cc_mean[-1] <= traces["pwu"].cc_mean[-1] * 1.1

@@ -1,0 +1,71 @@
+"""Sensitivity: PBUS's candidate fraction (an unspecified baseline knob).
+
+Neither this paper nor Balaprakash et al. (2013) fully specifies how large
+the performance-biased candidate set is.  The PWU-vs-PBUS speedup (Fig. 7)
+depends on it: a tiny candidate set makes PBUS maximally redundant (the
+paper's narrative); a large one makes PBUS approach MaxU.  This bench
+sweeps the fraction and records how the comparison moves — the honest
+context for EXPERIMENTS.md's Fig. 7 numbers.
+"""
+
+import numpy as np
+from conftest import env_seed, once, write_panel
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_strategy
+from repro.metrics import speedup_at_level
+from repro.sampling.pbus import PBUSampling
+
+KERNEL = "atax"
+FRACTIONS = (0.02, 0.05, 0.10, 0.25)
+
+
+def test_sensitivity_pbus_candidate_fraction(benchmark, scale, output_dir):
+    def run_all():
+        pwu = run_strategy(KERNEL, "pwu", scale, seed=env_seed(), alpha=0.01)
+        pbus = {
+            f: run_strategy(
+                KERNEL,
+                PBUSampling(candidate_fraction=f),
+                scale,
+                seed=env_seed(),
+                alpha=0.01,
+                label=f"pbus/{f:g}",
+            )
+            for f in FRACTIONS
+        }
+        return pwu, pbus
+
+    pwu, pbus = once(benchmark, run_all)
+    rows = []
+    for f, trace in pbus.items():
+        sp, level = speedup_at_level(
+            trace.cc_mean,
+            trace.rmse_mean["0.01"],
+            pwu.cc_mean,
+            pwu.rmse_mean["0.01"],
+        )
+        rows.append(
+            [
+                f"fraction={f:g}",
+                f"{trace.rmse_mean['0.01'][-1]:.4f}",
+                f"{trace.cc_mean[-1]:.1f}",
+                f"{sp:.2f}x" if np.isfinite(sp) else "n/a",
+            ]
+        )
+    rows.append(
+        ["pwu (ref)", f"{pwu.rmse_mean['0.01'][-1]:.4f}", f"{pwu.cc_mean[-1]:.1f}", "1.00x"]
+    )
+    write_panel(
+        output_dir,
+        "ablation_pbus_fraction",
+        format_table(
+            ["PBUS setting", "final RMSE@1%", "final CC (s)", "PWU speedup vs it"],
+            rows,
+            title=f"Sensitivity: PBUS candidate fraction on {KERNEL}",
+        ),
+    )
+
+    for trace in pbus.values():
+        assert np.isfinite(trace.rmse_mean["0.01"]).all()
+        assert trace.n_train[-1] == scale.n_max

@@ -1,0 +1,51 @@
+"""Ablation: the PWU combination rule itself.
+
+Equation 1 divides σ by μ^(1-α).  Variants bracketing that choice:
+``cv`` (σ/μ, the α→0 limit), ``pwu-rank`` (rank-weighted σ — invariant to
+monotone time rescaling), and ``maxu`` (σ alone, the α→1 limit).
+"""
+
+import numpy as np
+from conftest import env_seed, once, write_panel
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_strategy
+
+KERNEL = "jacobi"
+VARIANTS = ("pwu", "cv", "pwu-rank", "maxu")
+
+
+def test_ablation_pwu_variants(benchmark, scale, output_dir):
+    def run_all():
+        return {
+            v: run_strategy(KERNEL, v, scale, seed=env_seed(), alpha=0.05)
+            for v in VARIANTS
+        }
+
+    traces = once(benchmark, run_all)
+    rows = [
+        [
+            v,
+            f"{t.rmse_mean['0.05'][-1]:.4f}",
+            f"{t.rmse_mean['0.05'].min():.4f}",
+            f"{t.cc_mean[-1]:.1f}",
+        ]
+        for v, t in traces.items()
+    ]
+    write_panel(
+        output_dir,
+        "ablation_pwu_variants",
+        format_table(
+            ["variant", "final RMSE@5%", "min RMSE@5%", "final CC (s)"],
+            rows,
+            title=f"Ablation: PWU scoring variants on {KERNEL}",
+        ),
+    )
+
+    for t in traces.values():
+        assert np.isfinite(t.rmse_mean["0.05"]).all()
+
+    # Performance-weighted variants spend less labeling time than pure
+    # uncertainty sampling (they prefer fast = cheap configurations).
+    assert traces["pwu"].cc_mean[-1] < traces["maxu"].cc_mean[-1]
+    assert traces["cv"].cc_mean[-1] < traces["maxu"].cc_mean[-1]

@@ -1,0 +1,57 @@
+"""Ablation: forest uncertainty estimator.
+
+DESIGN.md design choice: the paper uses the std of per-tree predictions as
+σ (citing Hutter et al.); the same reference derives a law-of-total-variance
+estimator that adds within-leaf variance.  Does PWU's behaviour depend on
+which one drives it?
+"""
+
+import numpy as np
+from conftest import env_seed, once, write_panel
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_strategy
+
+KERNEL = "atax"
+
+
+def test_ablation_uncertainty_estimator(benchmark, scale, output_dir):
+    def run_both():
+        return {
+            estimator: run_strategy(
+                KERNEL,
+                "pwu",
+                scale,
+                seed=env_seed(),
+                alpha=0.05,
+                config_overrides={"uncertainty": estimator},
+                label=f"pwu/{estimator}",
+            )
+            for estimator in ("across_trees", "total_variance")
+        }
+
+    traces = once(benchmark, run_both)
+    rows = [
+        [
+            name,
+            f"{t.rmse_mean['0.05'][-1]:.4f}",
+            f"{t.rmse_mean['0.05'].min():.4f}",
+            f"{t.cc_mean[-1]:.1f}",
+        ]
+        for name, t in traces.items()
+    ]
+    write_panel(
+        output_dir,
+        "ablation_uncertainty",
+        format_table(
+            ["estimator", "final RMSE@5%", "min RMSE@5%", "final CC (s)"],
+            rows,
+            title="Ablation: uncertainty estimator driving PWU",
+        ),
+    )
+
+    for t in traces.values():
+        assert np.isfinite(t.rmse_mean["0.05"]).all()
+    # Both estimators must produce a learning curve, not a flat line.
+    for t in traces.values():
+        assert t.rmse_mean["0.05"].min() < t.rmse_mean["0.05"][0] * 1.05

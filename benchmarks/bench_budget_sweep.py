@@ -1,0 +1,70 @@
+"""Supplementary: how the PWU-vs-PBUS comparison depends on the budget.
+
+PWU spends early samples exploring (high-σ picks); PBUS exploits from the
+start.  At tiny budgets exploitation wins by construction; the paper's
+protocol (n_max = 500) sits deep in the regime where exploration has paid
+off.  This sweep measures the crossover on our substrate, which is the
+context needed to read the Fig. 7 numbers at reduced scales.
+"""
+
+import dataclasses
+
+import numpy as np
+from conftest import env_seed, once, write_panel
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_comparison
+from repro.metrics import speedup_at_level
+
+KERNEL = "atax"
+BUDGETS = (60, 120, 240, 400)
+
+
+def test_budget_sweep(benchmark, scale, output_dir):
+    def run_all():
+        rows = {}
+        for n_max in BUDGETS:
+            sized = dataclasses.replace(
+                scale,
+                name=f"{scale.name}-n{n_max}",
+                n_max=n_max,
+                pool_size=max(scale.pool_size, n_max * 3),
+                n_trials=min(scale.n_trials, 2),
+            )
+            traces = run_comparison(
+                KERNEL, ("pbus", "pwu"), sized, seed=env_seed(), alpha=0.01
+            )
+            sp, level = speedup_at_level(
+                traces["pbus"].cc_mean,
+                traces["pbus"].rmse_mean["0.01"],
+                traces["pwu"].cc_mean,
+                traces["pwu"].rmse_mean["0.01"],
+            )
+            rows[n_max] = (
+                sp,
+                level,
+                traces["pbus"].rmse_mean["0.01"][-1],
+                traces["pwu"].rmse_mean["0.01"][-1],
+            )
+        return rows
+
+    rows = once(benchmark, run_all)
+    write_panel(
+        output_dir,
+        "budget_sweep",
+        format_table(
+            ["budget n_max", "PWU/PBUS speedup", "level", "PBUS final", "PWU final"],
+            [
+                [
+                    n,
+                    f"{sp:.2f}x" if np.isfinite(sp) else "n/a",
+                    f"{lv:.4f}",
+                    f"{pb:.4f}",
+                    f"{pw:.4f}",
+                ]
+                for n, (sp, lv, pb, pw) in rows.items()
+            ],
+            title=f"Budget dependence of the PWU-vs-PBUS comparison ({KERNEL})",
+        ),
+    )
+    assert all(np.isfinite(v[2]) and np.isfinite(v[3]) for v in rows.values())

@@ -1,0 +1,98 @@
+"""Extension: cross-platform model portability (paper's future work).
+
+Section VI closes with "investigate ... the portability of performance
+models to avoid building models from scratch when encountering new kernels
+or platforms".  This bench measures the two prerequisites on our substrate:
+the cross-platform surface correlation, and the learning-curve effect of a
+transfer-seeded cold start.
+"""
+
+import numpy as np
+from conftest import env_seed, once, write_panel
+
+from repro.active import LearnerConfig
+from repro.experiments.report import format_table
+from repro.kernels import KERNEL_DESCRIPTORS, SpaptKernel
+from repro.machine import PLATFORM_A, PLATFORM_B
+from repro.space import DataPool
+from repro.transfer import run_transfer_experiment, surface_correlation
+
+KERNELS = ("atax", "mvt", "jacobi")
+
+
+def test_extension_cross_platform_correlation(benchmark, output_dir):
+    def probe():
+        rows = {}
+        for name in KERNELS:
+            a = SpaptKernel(KERNEL_DESCRIPTORS[name], machine=PLATFORM_A)
+            b = SpaptKernel(KERNEL_DESCRIPTORS[name], machine=PLATFORM_B)
+            rows[name] = surface_correlation(a, b, n_probe=400, seed=env_seed())
+        return rows
+
+    rows = once(benchmark, probe)
+    write_panel(
+        output_dir,
+        "extension_correlation",
+        format_table(
+            ["kernel", "Spearman rho (A vs B)"],
+            [[k, f"{v:.3f}"] for k, v in rows.items()],
+            title="Extension: cross-platform surface correlation",
+        ),
+    )
+    # Same kernel on sibling Xeons: strongly rank-correlated surfaces.
+    assert all(v > 0.7 for v in rows.values())
+
+
+def test_extension_transfer_seeding(benchmark, scale, output_dir):
+    def run():
+        source = SpaptKernel(KERNEL_DESCRIPTORS["atax"], machine=PLATFORM_A)
+        target = SpaptKernel(KERNEL_DESCRIPTORS["atax"], machine=PLATFORM_B)
+        rng = np.random.default_rng(env_seed())
+        n_pool = min(scale.pool_size, 600)
+        n_test = min(scale.test_size, 300)
+        X = target.space.sample_unique_encoded(rng, n_pool + n_test)
+        pool, X_test = DataPool(X[:n_pool]), X[n_pool:]
+        y_test = target.measure_encoded(X_test, rng)
+        return run_transfer_experiment(
+            source=source,
+            target=target,
+            pool=pool,
+            X_test=X_test,
+            y_test=y_test,
+            config=LearnerConfig(
+                n_init=scale.n_init,
+                n_max=min(scale.n_max, n_pool),
+                eval_every=scale.eval_every,
+                n_estimators=scale.n_estimators,
+                alphas=(0.05,),
+            ),
+            seed=env_seed(),
+        )
+
+    result = once(benchmark, run)
+    ratios = result.improvement("0.05")
+    write_panel(
+        output_dir,
+        "extension_transfer",
+        format_table(
+            ["#samples", "scratch RMSE@5%", "transfer RMSE@5%", "ratio"],
+            [
+                [
+                    int(n),
+                    f"{s:.4f}",
+                    f"{t:.4f}",
+                    f"{r:.2f}",
+                ]
+                for n, s, t, r in zip(
+                    result.scratch.n_train,
+                    result.scratch.rmse_series("0.05"),
+                    result.transferred.rmse_series("0.05"),
+                    ratios,
+                )
+            ],
+            title=f"Extension: transfer-seeded cold start "
+            f"(surface rho={result.surface_rho:.3f})",
+        ),
+    )
+    assert np.isfinite(ratios).all()
+    assert result.surface_rho > 0.7

@@ -1,0 +1,36 @@
+"""Fig. 8: direct tuning vs tuning with the surrogate as annotator (atax).
+
+Paper shape: the surrogate-annotated tuner's best-found-so-far curve
+tracks (is "comparative to, even better than") the ground-truth tuner —
+while spending no measurement time during the search.
+"""
+
+import numpy as np
+from conftest import env_seed, once, write_panel
+
+from repro.experiments.figures import fig8
+
+
+def test_fig8_surrogate_tuning(benchmark, scale, output_dir):
+    result = once(
+        benchmark,
+        lambda: fig8(
+            scale, benchmark_name="atax", n_tuning_iterations=30, seed=env_seed()
+        ),
+    )
+    write_panel(output_dir, "fig8_tuning", result.render())
+
+    direct = np.asarray(result.data["direct"])
+    surrogate = np.asarray(result.data["surrogate"])
+
+    # Best-so-far curves are non-increasing by construction.
+    assert (np.diff(direct) <= 1e-12).all()
+    assert (np.diff(surrogate) <= 1e-12).all()
+
+    # The surrogate-driven tuner must land in the same ballpark as direct
+    # tuning (paper: comparable or better), not an order of magnitude off.
+    assert result.data["surrogate_final"] <= 3.0 * result.data["direct_final"]
+
+    # And both tuners actually tune: the end beats the starting point.
+    assert direct[-1] <= direct[0]
+    assert surrogate[-1] <= surrogate[0]

@@ -1,0 +1,25 @@
+"""Fig. 9: where PBUS and PWU spend their selections in the (μ, σ) plane.
+
+Paper shape: PBUS "puts too much weight into the low uncertainty area";
+PWU's selections sit at higher uncertainty while staying biased toward
+high predicted performance — the better exploration/exploitation balance.
+"""
+
+from conftest import env_seed, once, write_panel
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9_selection_distribution(benchmark, scale, output_dir):
+    result = once(
+        benchmark, lambda: fig9(scale, benchmark_name="atax", seed=env_seed())
+    )
+    write_panel(output_dir, "fig9_selection_map", result.render())
+
+    pbus = result.data["pbus"]
+    pwu = result.data["pwu"]
+    assert pbus["n_selected"] == pwu["n_selected"] > 0
+
+    # The paper's qualitative claim, quantified: PWU's selections carry
+    # more model uncertainty than PBUS's.
+    assert pwu["mean_selection_sigma"] > pbus["mean_selection_sigma"]

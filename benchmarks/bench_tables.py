@@ -1,0 +1,45 @@
+"""Tables I-IV: parameter-space inventories and platform configuration.
+
+Regenerates the paper's setup tables and checks their structural facts:
+ADI's 18-parameter Table I space, the kripke/hypre parameter sets, and the
+Platform A/B node descriptions.
+"""
+
+from conftest import once, write_panel
+
+from repro.experiments.figures import tables_1_to_4
+from repro.kernels import KERNEL_DESCRIPTORS
+from repro.workloads import get_benchmark
+
+
+def test_tables_1_to_4(benchmark, output_dir):
+    result = once(benchmark, tables_1_to_4)
+    write_panel(output_dir, "tables_1_to_4", result.render())
+
+    # Table I: ADI has 8 tile + 4 unroll-jam + 4 register-tile + 2 flags.
+    assert result.data["adi_n_parameters"] == 18
+    d = KERNEL_DESCRIPTORS["adi"]
+    assert (d.n_tile, d.n_unroll, d.n_regtile) == (8, 4, 4)
+
+    # Table II: kripke's space is the full cross product of Table II rows.
+    assert result.data["kripke_size"] == 6 * 8 * 3 * 2 * 8
+
+    # Table III: hypre's space likewise.
+    assert result.data["hypre_size"] == 25 * 2 * 9 * 7
+
+
+def test_table_1_value_sets():
+    adi = get_benchmark("adi")
+    assert adi.space["T1"].values == (1, 16, 32, 64, 128, 256, 512)
+    assert adi.space["U1"].values[0] == 1 and adi.space["U1"].values[-1] == 31
+    assert adi.space["RT1"].values == (1, 8, 32)
+
+
+def test_table_4_platforms():
+    from repro.machine import PLATFORM_A, PLATFORM_B
+
+    assert PLATFORM_A.cores == 24 and PLATFORM_A.frequency_hz == 2.5e9
+    assert PLATFORM_B.cores == 28 and PLATFORM_B.frequency_hz == 2.4e9
+    assert PLATFORM_B.network is not None  # 100 Gbps OPA
+    # 100 Gbps → 12.5 GB/s → β = 8e-11 s/B.
+    assert abs(PLATFORM_B.network.beta_s_per_byte - 8e-11) < 1e-12

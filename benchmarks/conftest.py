@@ -1,0 +1,72 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper table/figure has one ``bench_*`` file.  Heavy experiment runs
+are memoised per session (Fig. 2 and Fig. 3 plot the *same* runs; Fig. 7
+reuses them too), and every regenerated panel is written to
+``benchmarks/_output/`` so the evidence survives the pytest run.
+
+Scale selection: set ``REPRO_SCALE`` to ``smoke`` (default here; minutes
+for the full suite), ``quick`` (tens of minutes) or ``paper`` (the full
+Section III-D protocol).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.aggregate import AveragedTrace
+from repro.experiments.config import ExperimentScale, scale_from_env
+from repro.experiments.runner import run_comparison
+
+OUTPUT_DIR = Path(__file__).parent / "_output"
+
+_COMPARISON_CACHE: dict[tuple, dict[str, AveragedTrace]] = {}
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return scale_from_env(default="smoke")
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def cached_comparison(
+    benchmark_name: str,
+    strategies: tuple[str, ...],
+    scale: ExperimentScale,
+    seed: int = 0,
+    alpha: float = 0.01,
+) -> dict[str, AveragedTrace]:
+    """Memoised run_comparison: figures that share runs share the cost."""
+    key = (benchmark_name, strategies, scale.name, seed, alpha)
+    if key not in _COMPARISON_CACHE:
+        _COMPARISON_CACHE[key] = run_comparison(
+            benchmark_name, strategies, scale, seed=seed, alpha=alpha
+        )
+    return _COMPARISON_CACHE[key]
+
+
+def write_panel(output_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated panel under benchmarks/_output/."""
+    path = output_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are far too heavy for statistical repetition; a single
+    timed round still lands the wall-time in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def env_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))

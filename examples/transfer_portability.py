@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Model portability across platforms (the paper's future-work section).
+
+Scenario: *atax* is already modeled on Platform A (E5-2680 v3).  A new
+Platform B (E5-2680 v4) arrives.  Must we rebuild the model from scratch,
+or can the Platform A model's beliefs seed the new run?
+
+This example measures (1) how rank-correlated the two platforms' response
+surfaces are, and (2) the learning-curve difference between a scratch
+cold start and a transfer-seeded cold start at equal measurement budget.
+
+Run:  python examples/transfer_portability.py
+"""
+
+import numpy as np
+
+from repro.active import LearnerConfig
+from repro.experiments.report import series_table
+from repro.kernels import KERNEL_DESCRIPTORS, SpaptKernel
+from repro.machine import PLATFORM_A, PLATFORM_B
+from repro.space import DataPool
+from repro.transfer import run_transfer_experiment
+
+SEED = 21
+
+
+def main() -> None:
+    source = SpaptKernel(KERNEL_DESCRIPTORS["atax"], machine=PLATFORM_A)
+    target = SpaptKernel(KERNEL_DESCRIPTORS["atax"], machine=PLATFORM_B)
+
+    rng = np.random.default_rng(SEED)
+    X = target.space.sample_unique_encoded(rng, 700)
+    pool, X_test = DataPool(X[:450]), X[450:]
+    y_test = target.measure_encoded(X_test, rng)
+
+    result = run_transfer_experiment(
+        source=source,
+        target=target,
+        pool=pool,
+        X_test=X_test,
+        y_test=y_test,
+        config=LearnerConfig(
+            n_init=10, n_max=70, eval_every=10, n_estimators=20, alphas=(0.05,)
+        ),
+        n_source_samples=200,
+        seed=SEED,
+    )
+
+    print(
+        f"surface rank correlation (Platform A vs B): {result.surface_rho:.3f}"
+    )
+    print()
+    print(
+        series_table(
+            result.scratch.n_train,
+            {
+                "scratch": result.scratch.rmse_series("0.05"),
+                "transfer-seeded": result.transferred.rmse_series("0.05"),
+            },
+            x_label="#samples",
+            title="RMSE@5% on Platform B, by cold-start policy",
+        )
+    )
+    ratios = result.improvement("0.05")
+    print(
+        f"\nmean RMSE ratio scratch/transfer over the run: {ratios.mean():.2f} "
+        f"(>1 means the transferred model learns faster)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""The active-learning loop (Algorithm 1) and its run history."""
+
+from repro.active.history import IterationRecord, LearningHistory
+from repro.active.learner import ActiveLearner, LearnerConfig
+
+__all__ = ["ActiveLearner", "LearnerConfig", "LearningHistory", "IterationRecord"]

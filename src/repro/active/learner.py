@@ -1,0 +1,231 @@
+"""Algorithm 1 — the active-learning loop.
+
+Cold start: draw ``n_init`` random pool configurations, measure them, fit
+the forest.  Iterate: the sampling strategy picks ``n_batch`` configurations
+from the remaining pool using the fitted forest; they are measured, appended
+to the training set, and the forest is refit (or partially refreshed) —
+until the training set reaches ``n_max``.  After the cold start and after
+every ``eval_every``-th iteration the model is evaluated on the held-out
+test set (RMSE@α per Equation 2) and the trace recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.active.history import IterationRecord, LearningHistory
+from repro.forest import RandomForestRegressor
+from repro.metrics import cumulative_cost, top_alpha_rmse
+from repro.rng import as_generator
+from repro.sampling.base import SamplingStrategy
+from repro.space import DataPool
+
+__all__ = ["LearnerConfig", "ActiveLearner"]
+
+
+@dataclass(frozen=True)
+class LearnerConfig:
+    """Algorithm 1 parameters (paper defaults from Section III-D)."""
+
+    n_init: int = 10
+    n_batch: int = 1
+    n_max: int = 500
+    #: α values to evaluate RMSE at after each evaluation point.
+    alphas: tuple[float, ...] = (0.01, 0.05, 0.10)
+    #: Evaluate the model every this many iterations (1 = paper protocol).
+    eval_every: int = 1
+    #: "scratch" refits all trees per iteration (paper default);
+    #: "partial" refreshes only ``refresh_fraction`` of them.
+    retrain: str = "scratch"
+    refresh_fraction: float = 0.3
+    #: Surrogate family: "forest" (the paper's choice) or "gp" (the
+    #: Gaussian-process baseline of Section II-B, for ablations).
+    model: str = "forest"
+    #: Forest hyper-parameters.
+    n_estimators: int = 30
+    max_features: "int | float | str | None" = "third"
+    min_samples_leaf: int = 1
+    uncertainty: str = "across_trees"
+
+    def __post_init__(self) -> None:
+        if self.n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        if self.n_batch < 1:
+            raise ValueError("n_batch must be >= 1")
+        if self.n_max < self.n_init:
+            raise ValueError("n_max must be >= n_init")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        if self.retrain not in ("scratch", "partial"):
+            raise ValueError(f"retrain must be 'scratch' or 'partial', got {self.retrain!r}")
+        if self.model not in ("forest", "gp"):
+            raise ValueError(f"model must be 'forest' or 'gp', got {self.model!r}")
+        if self.model == "gp" and self.retrain == "partial":
+            raise ValueError("the GP surrogate only supports retrain='scratch'")
+        if not self.alphas:
+            raise ValueError("at least one alpha is required")
+        if any(not 0.0 < a <= 1.0 for a in self.alphas):
+            raise ValueError("alphas must lie in (0, 1]")
+
+
+@dataclass
+class ActiveLearner:
+    """Runs Algorithm 1 against a pool, an oracle, and a test set.
+
+    Parameters
+    ----------
+    pool:
+        The unlabeled configuration pool (will be mutated by the run).
+    evaluate:
+        The labeling oracle: encoded matrix → measured times.  Typically
+        ``lambda X: benchmark.measure_encoded(X, rng)``.
+    X_test, y_test:
+        Held-out test set (labels measured in advance, per Section III-C).
+    strategy:
+        The sampling strategy under study.
+    config:
+        Loop and forest parameters.
+    seed:
+        Root seed for the run's randomness (cold start, strategy
+        tie-breaking, forest bootstrap).
+    cold_start_indices:
+        Optional explicit pool indices for the cold start instead of the
+        random draw of Algorithm 1 line 1 — used by the transfer-learning
+        extension (:mod:`repro.transfer`) to seed the run from a source
+        model's beliefs.  Length must equal ``config.n_init``.
+    """
+
+    pool: DataPool
+    evaluate: "callable"
+    X_test: np.ndarray
+    y_test: np.ndarray
+    strategy: SamplingStrategy
+    config: LearnerConfig = field(default_factory=LearnerConfig)
+    seed: "int | np.random.Generator | None" = None
+    cold_start_indices: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        self.rng = as_generator(self.seed)
+        self.X_test = np.asarray(self.X_test, dtype=np.float64)
+        self.y_test = np.asarray(self.y_test, dtype=np.float64)
+        if len(self.X_test) != len(self.y_test):
+            raise ValueError("test set features and labels disagree in length")
+        if self.config.n_max > self.pool.n_total:
+            raise ValueError(
+                f"n_max={self.config.n_max} exceeds pool size {self.pool.n_total}"
+            )
+        m = int(np.floor(len(self.y_test) * min(self.config.alphas)))
+        if m < 1:
+            raise ValueError(
+                f"test set of {len(self.y_test)} is too small for "
+                f"alpha={min(self.config.alphas)}"
+            )
+        self.model: RandomForestRegressor | None = None
+        self.X_train = np.empty((0, self.pool.X.shape[1]))
+        self.y_train = np.empty(0)
+        self.history = LearningHistory()
+        self._pending_selected: list[int] = []
+        self._pending_mu: list[float] = []
+        self._pending_sigma: list[float] = []
+
+    # -- internals ---------------------------------------------------------
+    def _make_model(self):
+        cfg = self.config
+        if cfg.model == "gp":
+            from repro.gp import GaussianProcessRegressor
+
+            # log_targets keeps predicted times positive — see repro.gp.
+            return GaussianProcessRegressor(
+                n_restarts=1, log_targets=True, seed=self.rng
+            )
+        return RandomForestRegressor(
+            n_estimators=cfg.n_estimators,
+            max_features=cfg.max_features,
+            min_samples_leaf=cfg.min_samples_leaf,
+            uncertainty=cfg.uncertainty,
+            seed=self.rng,
+        )
+
+    def _refit(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
+        if self.model is None or self.config.retrain == "scratch":
+            self.model = self._make_model()
+            self.model.fit(self.X_train, self.y_train)
+        else:
+            self.model.update(X_new, y_new, self.config.refresh_fraction)
+
+    def _record(self) -> None:
+        assert self.model is not None
+        pred = self.model.predict(self.X_test)
+        rmse = {
+            f"{a:g}": top_alpha_rmse(self.y_test, pred, a)
+            for a in self.config.alphas
+        }
+        self.history.append(
+            IterationRecord(
+                n_train=len(self.y_train),
+                cumulative_cost=cumulative_cost(self.y_train),
+                rmse=rmse,
+                selected=tuple(self._pending_selected),
+                selected_mu=tuple(self._pending_mu),
+                selected_sigma=tuple(self._pending_sigma),
+            )
+        )
+        self._pending_selected.clear()
+        self._pending_mu.clear()
+        self._pending_sigma.clear()
+
+    # -- the loop --------------------------------------------------------------
+    def run(self) -> LearningHistory:
+        """Execute Algorithm 1 to completion and return the trace."""
+        cfg = self.config
+        # Cold start (lines 1-4): random initial sample, unless the caller
+        # provided transfer-seeded indices.
+        if self.cold_start_indices is not None:
+            init_idx = np.asarray(self.cold_start_indices, dtype=np.intp)
+            if len(init_idx) != cfg.n_init:
+                raise ValueError(
+                    f"cold_start_indices has {len(init_idx)} entries, "
+                    f"config.n_init is {cfg.n_init}"
+                )
+        else:
+            init_idx = self.rng.choice(
+                self.pool.available_indices(), size=cfg.n_init, replace=False
+            )
+        X0 = self.pool.take(init_idx)
+        y0 = np.asarray(self.evaluate(X0), dtype=np.float64)
+        self.X_train = np.asarray(X0, dtype=np.float64).copy()
+        self.y_train = y0
+        self._refit(X0, y0)
+        self._pending_selected.extend(int(i) for i in init_idx)
+        self._record()
+
+        # Iteration phase (lines 5-9).
+        iteration = 0
+        while len(self.y_train) < cfg.n_max:
+            n_batch = min(cfg.n_batch, cfg.n_max - len(self.y_train))
+            model_arg = self.model if self.strategy.requires_model else None
+            batch_idx = np.asarray(
+                self.strategy.select(model_arg, self.pool, n_batch, self.rng)
+            )
+            Xb = self.pool.take(batch_idx)
+            # Selection-time model view of the batch (what Fig. 9 plots).
+            mu_b, sigma_b = self.model.predict_with_uncertainty(Xb)
+            yb = np.asarray(self.evaluate(Xb), dtype=np.float64)
+            if yb.shape != (len(Xb),):
+                raise RuntimeError(
+                    f"oracle returned {yb.shape} labels for {len(Xb)} configs"
+                )
+            self.X_train = np.vstack([self.X_train, Xb])
+            self.y_train = np.concatenate([self.y_train, yb])
+            self._refit(Xb, yb)
+            self._pending_selected.extend(int(i) for i in batch_idx)
+            self._pending_mu.extend(float(m) for m in mu_b)
+            self._pending_sigma.extend(float(s) for s in sigma_b)
+
+            iteration += 1
+            is_last = len(self.y_train) >= cfg.n_max
+            if iteration % cfg.eval_every == 0 or is_last:
+                self._record()
+        return self.history

@@ -1,0 +1,21 @@
+"""The two parallel applications of the paper's evaluation.
+
+* :mod:`repro.apps.kripke` — the LLNL discrete-ordinates transport proxy;
+  tunables are the data layout, group/direction set blocking, the parallel
+  sweep method and the process count (Table II).
+* :mod:`repro.apps.hypre` — the hypre ``new_ij`` driver solving a 27-point
+  3-D Laplacian; tunables are the solver id, AMG coarsening, smoother type
+  and process count (Table III).
+
+Both run on Platform B's machine model (E5-2680 v4 nodes, 100 Gbps OPA) via
+first-order performance models; see DESIGN.md for the substitution argument.
+"""
+
+from repro.apps.kripke import KripkeBenchmark
+from repro.apps.hypre import HypreBenchmark
+from repro.workloads.registry import register_benchmark
+
+__all__ = ["KripkeBenchmark", "HypreBenchmark"]
+
+register_benchmark("kripke", KripkeBenchmark)
+register_benchmark("hypre", HypreBenchmark)

@@ -1,0 +1,167 @@
+"""Performance model of the kripke transport proxy (Table II parameters).
+
+kripke (Kunen, Bailey & Brown, LLNL 2015) sweeps a discrete-ordinates
+transport problem over a 3-D zone mesh.  Its performance-only knobs:
+
+* ``layout`` — nesting order of the Direction/Group/Zone loops (six
+  permutations).  The innermost dimension determines SIMD and cache
+  behaviour, interacting with how many groups/directions one block holds.
+* ``gset``/``dset`` — the energy groups and directions are blocked into
+  sets; a sweep processes one (group-set, direction-set) block at a time.
+  Many small blocks pipeline better across processes but pay more message
+  and loop overhead; few large blocks vectorise better but idle the
+  pipeline.
+* ``pmethod`` — ``sweep`` (KBA wavefront pipeline, exact) versus ``bj``
+  (block-Jacobi: fully parallel sub-domain sweeps but several iterations to
+  propagate the solution).
+* ``#process`` — MPI ranks over the Platform B α-β network.
+
+The model composes per-block compute (layout- and block-size-dependent
+efficiency on the machine model) with a KBA pipeline fill / block-Jacobi
+iteration term and α-β message costs.  Magnitudes are representative of a
+16M-unknown problem; the reproduction relies on the surface's *shape*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import PLATFORM_B, MachineModel
+from repro.noise import APP_PROTOCOL, MeasurementProtocol
+from repro.space import CategoricalParameter, OrdinalParameter, ParameterSpace
+from repro.workloads.base import Benchmark
+
+__all__ = ["KripkeBenchmark", "LAYOUTS"]
+
+LAYOUTS = ("DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD")
+GSET_VALUES = (1, 2, 4, 8, 16, 32, 64, 128)
+DSET_VALUES = (8, 16, 32)
+PMETHODS = ("sweep", "bj")
+PROCESS_VALUES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Problem shape: zones × groups × directions, and flops per unknown-angle.
+N_ZONES = 8192.0
+N_GROUPS = 128.0
+N_DIRECTIONS = 96.0
+FLOPS_PER_ELEMENT = 25.0
+
+#: Relative compute cost of each loop nesting (innermost letter dominates:
+#: long stride-1 zone loops vectorise best; direction-innermost thrashes).
+_LAYOUT_BASE_COST = {
+    "DGZ": 1.00,  # zones innermost: best SIMD over the mesh
+    "GZD": 1.30,
+    "ZGD": 1.42,  # directions innermost: short, gather-heavy loops
+    "GDZ": 1.05,
+    "ZDG": 1.28,  # groups innermost
+    "DZG": 1.22,
+}
+#: Which quantity sits innermost for each layout (drives block-size coupling).
+_INNERMOST = {
+    "DGZ": "Z",
+    "GDZ": "Z",
+    "DZG": "G",
+    "ZDG": "G",
+    "GZD": "D",
+    "ZGD": "D",
+}
+
+#: Block-Jacobi needs several passes to propagate incident fluxes.
+_BJ_ITERATIONS = 3.5
+#: Idle-pipeline residue constant for the KBA sweep.
+_SWEEP_SURFACE_FRACTION = 0.18
+#: Global scale: the paper's kripke runs take tens of seconds per sample.
+_TIME_SCALE = 40.0
+
+
+class KripkeBenchmark(Benchmark):
+    """kripke on Platform B.  Parameter order: layout, gset, dset, pmethod, #process."""
+
+    name = "kripke"
+
+    def __init__(
+        self,
+        machine: MachineModel = PLATFORM_B,
+        protocol: MeasurementProtocol = APP_PROTOCOL,
+    ) -> None:
+        if machine.network is None:
+            raise ValueError("kripke needs a machine model with a network")
+        space = ParameterSpace(
+            [
+                CategoricalParameter("layout", LAYOUTS),
+                OrdinalParameter("gset", GSET_VALUES),
+                OrdinalParameter("dset", DSET_VALUES),
+                CategoricalParameter("pmethod", PMETHODS),
+                OrdinalParameter("#process", PROCESS_VALUES),
+            ]
+        )
+        super().__init__(space, protocol)
+        self.machine = machine
+        # Single-core effective flop rate for this (memory-heavy) sweep code.
+        self._core_flops = machine.frequency_hz * machine.flops_per_cycle
+
+    def true_times_encoded(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        layout_idx = np.round(X[:, 0]).astype(np.intp)
+        gset = X[:, 1]
+        dset = X[:, 2]
+        bj = np.round(X[:, 3]).astype(np.intp) == 1  # PMETHODS index 1 == "bj"
+        procs = X[:, 4]
+
+        layout_cost = np.asarray([_LAYOUT_BASE_COST[LAYOUTS[i]] for i in layout_idx])
+        innermost = np.asarray([_INNERMOST[LAYOUTS[i]] for i in layout_idx])
+
+        # Block geometry: one block holds (groups/gset) × (directions/dset)
+        # group-angle pairs over all local zones.
+        groups_per_set = N_GROUPS / gset
+        dirs_per_set = N_DIRECTIONS / dset
+        n_blocks = gset * dset
+
+        # --- per-element compute efficiency --------------------------------
+        # The innermost loop length decides vectorisation: zone-innermost is
+        # always long; group-/direction-innermost need fat sets.
+        inner_len = np.where(
+            innermost == "Z",
+            N_ZONES,
+            np.where(innermost == "G", groups_per_set, dirs_per_set),
+        )
+        simd_eff = np.minimum(1.0, inner_len / 16.0) * 0.55 + 0.45
+        elem_cycles = FLOPS_PER_ELEMENT * layout_cost / simd_eff
+        # Small blocks add loop/bookkeeping overhead per element.
+        block_elems = groups_per_set * dirs_per_set
+        overhead = 1.0 + 6.0 / block_elems
+
+        total_elems = N_ZONES * N_GROUPS * N_DIRECTIONS
+        serial_compute_s = total_elems * elem_cycles * overhead / (
+            self.machine.frequency_hz * self.machine.flops_per_cycle
+        )
+
+        # --- parallel structure --------------------------------------------
+        net = self.machine.network
+        # 3-D decomposition: pipeline depth scales with the process-grid
+        # diameter; local surface is the message payload per block-stage.
+        grid_diameter = 3.0 * np.cbrt(procs)
+        local_zones = N_ZONES / procs
+        surface_zones = np.maximum(local_zones ** (2.0 / 3.0), 1.0)
+        msg_bytes = surface_zones * groups_per_set * dirs_per_set * 8.0
+
+        compute_per_proc = serial_compute_s / procs
+
+        # KBA sweep: fill/drain idles ~diameter/(diameter+#blocks) of the
+        # pipeline; each block-stage pays one α-β message per face.
+        fill_factor = 1.0 + grid_diameter / np.maximum(n_blocks, 1.0)
+        sweep_msgs = n_blocks * grid_diameter
+        sweep_comm = sweep_msgs * (net.alpha_s + net.beta_s_per_byte * msg_bytes)
+        sweep_comm = sweep_comm * _SWEEP_SURFACE_FRACTION * 6.0
+        t_sweep = compute_per_proc * fill_factor + sweep_comm
+
+        # Block-Jacobi: no pipeline, but several full iterations; each
+        # iteration exchanges all faces at once plus a small allreduce.
+        bj_comm_per_iter = 6.0 * (net.alpha_s + net.beta_s_per_byte * msg_bytes) + (
+            net.alpha_s * np.log2(np.maximum(procs, 2.0))
+        )
+        t_bj = _BJ_ITERATIONS * (compute_per_proc + bj_comm_per_iter)
+
+        t = np.where(bj, t_bj, t_sweep)
+        # Single process: both methods degenerate to one serial sweep.
+        t = np.where(procs <= 1.0, serial_compute_s, t)
+        return t * _TIME_SCALE

@@ -1,0 +1,175 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples
+--------
+::
+
+    repro tables                       # Tables I-IV
+    repro fig2 --kernels atax mm       # RMSE vs #samples for two kernels
+    repro fig7 --scale quick           # PWU/PBUS speedup table
+    repro fig9                         # selection-distribution maps
+    repro list                         # benchmarks and strategies
+    repro all --scale smoke -o results # everything, persisted as JSON
+
+Scales: ``paper`` (the full Section III-D protocol), ``quick`` (default;
+minutes on one core), ``smoke`` (seconds, CI-sized).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro._version import __version__
+from repro.experiments.config import SCALES
+from repro.experiments.report import dump_json
+from repro.kernels import SPAPT_KERNEL_NAMES
+from repro.sampling import STRATEGY_NAMES
+from repro.workloads import all_benchmarks
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (one subcommand per figure)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_)
+        p.add_argument(
+            "--scale", choices=sorted(SCALES), default="quick", help="experiment scale"
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "-o", "--out-dir", default=None, help="directory for JSON results"
+        )
+        return p
+
+    sub.add_parser("list", help="list benchmarks and strategies")
+    sub.add_parser("tables", help="print Tables I-IV")
+
+    p2 = add("fig2", "RMSE vs #samples for the 12 kernels (also computes Fig. 3)")
+    p2.add_argument("--kernels", nargs="+", default=list(SPAPT_KERNEL_NAMES))
+    p2.add_argument("--alpha", type=float, default=0.01)
+
+    p4 = add("fig4", "RMSE and CC vs #samples for kripke and hypre (also Fig. 5)")
+    p4.add_argument("--alpha", type=float, default=0.01)
+
+    p6 = add("fig6", "PBUS vs PWU at alpha in {0.01, 0.05, 0.10}")
+    p6.add_argument("--benchmark", default="atax")
+
+    p7 = add("fig7", "cost speedup of PWU over PBUS across benchmarks")
+    p7.add_argument("--benchmarks", nargs="+", default=None)
+    p7.add_argument("--alpha", type=float, default=0.01)
+
+    p8 = add("fig8", "direct vs surrogate-annotated tuning")
+    p8.add_argument("--benchmark", default="atax")
+
+    p9 = add("fig9", "selected-sample distribution maps (PBUS vs PWU)")
+    p9.add_argument("--benchmark", default="atax")
+
+    add("all", "regenerate every table and figure")
+    return parser
+
+
+def _emit(result, out_dir: "str | None") -> None:
+    print(result.render())
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        slug = result.name.lower().replace(" ", "").replace(".", "")
+        path = os.path.join(out_dir, f"{slug}.json")
+        dump_json(
+            {"name": result.name, "description": result.description, "data": result.data},
+            path,
+        )
+        print(f"[written {path}]")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    # Deferred imports keep `repro list --help` fast.
+    from repro.experiments import figures
+
+    if args.command == "list":
+        print("benchmarks:", ", ".join(all_benchmarks()))
+        print("strategies:", ", ".join(STRATEGY_NAMES))
+        print("scales:    ", ", ".join(sorted(SCALES)))
+        return 0
+
+    if args.command == "tables":
+        print(figures.tables_1_to_4().render())
+        return 0
+
+    scale = SCALES[args.scale]
+    out = args.out_dir
+
+    if args.command == "fig2":
+        f2, f3 = figures.fig2_fig3(
+            scale, kernels=tuple(args.kernels), alpha=args.alpha, seed=args.seed
+        )
+        _emit(f2, out)
+        _emit(f3, out)
+        return 0
+
+    if args.command == "fig4":
+        f4, f5 = figures.fig4_fig5(scale, alpha=args.alpha, seed=args.seed)
+        _emit(f4, out)
+        _emit(f5, out)
+        return 0
+
+    if args.command == "fig6":
+        _emit(figures.fig6(scale, benchmark=args.benchmark, seed=args.seed), out)
+        return 0
+
+    if args.command == "fig7":
+        benches = tuple(args.benchmarks) if args.benchmarks else None
+        _emit(
+            figures.fig7(scale, benchmarks=benches, alpha=args.alpha, seed=args.seed),
+            out,
+        )
+        return 0
+
+    if args.command == "fig8":
+        _emit(figures.fig8(scale, benchmark_name=args.benchmark, seed=args.seed), out)
+        return 0
+
+    if args.command == "fig9":
+        _emit(figures.fig9(scale, benchmark_name=args.benchmark, seed=args.seed), out)
+        return 0
+
+    if args.command == "all":
+        print(figures.tables_1_to_4().render())
+        f2, f3 = figures.fig2_fig3(scale, seed=args.seed)
+        _emit(f2, out)
+        _emit(f3, out)
+        f4, f5 = figures.fig4_fig5(scale, seed=args.seed)
+        _emit(f4, out)
+        _emit(f5, out)
+        _emit(figures.fig6(scale, seed=args.seed), out)
+        pre = {k: {s: _trace_from_dict(d) for s, d in v.items()} for k, v in {**f2.data, **f4.data}.items()}
+        _emit(figures.fig7(scale, seed=args.seed, precomputed=pre), out)
+        _emit(figures.fig8(scale, seed=args.seed), out)
+        _emit(figures.fig9(scale, seed=args.seed), out)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _trace_from_dict(d: dict):
+    """Rehydrate an AveragedTrace from its to_dict() form (for `all`)."""
+    from repro.experiments.aggregate import AveragedTrace
+
+    return AveragedTrace.from_dict(d)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Analytic loop-nest cost model for code-transformation tuning.
+
+This subpackage replaces the paper's measurement substrate for SPAPT: where
+the paper generates a code variant with Orio (cache tiling, unroll-jam,
+register tiling, scalar replacement, vectorization) and times it on Platform
+A, we compute the execution time of the variant from first-order
+architectural effects:
+
+* **cache tiling** changes the per-tile working set, which moves average
+  access latency along the machine's cache staircase
+  (:func:`repro.machine.cache.average_access_latency`); tile size 1 means
+  "untiled" (full-extent working set) as in SPAPT,
+* **unroll-jam** amortises loop-control overhead but multiplies live
+  registers; past the architectural register file the spill penalty grows,
+* **register tiling** buys data reuse (fewer memory accesses) at further
+  register cost,
+* **scalar replacement** trades memory accesses for register pressure,
+* **vectorization** speeds up compute when the innermost effective tile is
+  wide enough for contiguous SIMD, and slightly hurts otherwise,
+* a per-kernel deterministic *interaction term*
+  (:mod:`repro.costmodel.quirks`) adds the idiosyncratic parameter couplings
+  real kernels exhibit, so the twelve kernels have genuinely different
+  response surfaces.
+
+Compute and memory times combine roofline-style (max plus partial overlap).
+The absolute seconds are not claimed to match Platform A; the *statistical
+shape* — nonlinear, multi-modal, heavy right tail, mixed feature types —
+is what the reproduction needs, per DESIGN.md.
+"""
+
+from repro.costmodel.loopnest import ArrayRef, LoopNestSpec
+from repro.costmodel.transform import TransformEffects, transform_effects
+from repro.costmodel.cost import KernelCostModel
+
+__all__ = [
+    "ArrayRef",
+    "LoopNestSpec",
+    "TransformEffects",
+    "transform_effects",
+    "KernelCostModel",
+]

@@ -1,0 +1,127 @@
+"""Putting it together: transformed loop nest → execution seconds.
+
+Roofline-style combination: compute cycles and memory cycles overlap
+partially (hardware prefetch and out-of-order execution hide some latency
+behind arithmetic), so
+
+.. math:: cycles = \\max(C_{comp}, C_{mem}) + \\lambda \\min(C_{comp}, C_{mem})
+          + C_{startup}
+
+with overlap residue :math:`\\lambda = 0.25`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.loopnest import LoopNestSpec
+from repro.costmodel.quirks import InteractionQuirk
+from repro.costmodel.transform import effective_tile_extents, transform_effects
+from repro.machine.cache import average_access_latency
+from repro.machine.model import MachineModel
+
+__all__ = ["KernelCostModel"]
+
+#: Fraction of the smaller of compute/memory cycles that fails to overlap.
+_OVERLAP_RESIDUE = 0.25
+#: Memory-level parallelism: outstanding misses divide effective latency.
+_MLP = 4.0
+
+
+class KernelCostModel:
+    """Execution-time model for one SPAPT kernel on one machine.
+
+    The encoded configuration matrix is split positionally into tile sizes,
+    unroll factors, register-tile factors, and the two boolean flags — the
+    same parameter ordering the kernel's :class:`ParameterSpace` declares.
+    """
+
+    def __init__(
+        self,
+        nest: LoopNestSpec,
+        machine: MachineModel,
+        n_tile: int,
+        n_unroll: int,
+        n_regtile: int,
+        quirk: "InteractionQuirk | tuple[InteractionQuirk, ...] | None" = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        if n_tile != nest.n_tiled_loops:
+            raise ValueError(
+                f"{nest.name}: {n_tile} tile parameters but nest has "
+                f"{nest.n_tiled_loops} tiled loops"
+            )
+        if n_unroll < 0 or n_regtile < 0:
+            raise ValueError("parameter counts must be non-negative")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.nest = nest
+        self.machine = machine
+        self.n_tile = n_tile
+        self.n_unroll = n_unroll
+        self.n_regtile = n_regtile
+        if quirk is None:
+            self.quirks: tuple[InteractionQuirk, ...] = ()
+        elif isinstance(quirk, InteractionQuirk):
+            self.quirks = (quirk,)
+        else:
+            self.quirks = tuple(quirk)
+        self.time_scale = time_scale
+
+    @property
+    def n_parameters(self) -> int:
+        return self.n_tile + self.n_unroll + self.n_regtile + 2
+
+    def split_columns(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Slice encoded ``X`` into (tiles, unrolls, regtiles, sr, vec)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_parameters:
+            raise ValueError(
+                f"{self.nest.name}: expected {self.n_parameters} columns, "
+                f"got {X.shape[1]}"
+            )
+        a = self.n_tile
+        b = a + self.n_unroll
+        c = b + self.n_regtile
+        return X[:, :a], X[:, a:b], X[:, b:c], X[:, c], X[:, c + 1]
+
+    def true_times(self, X: np.ndarray) -> np.ndarray:
+        """Noise-free seconds per encoded configuration row."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        tiles, unroll, regtile, sr, vec = self.split_columns(X)
+        nest = self.nest
+
+        tile_eff = effective_tile_extents(tiles, nest.loop_extents)
+        fx = transform_effects(
+            tile_eff=tile_eff,
+            unroll=unroll if self.n_unroll else np.ones((len(X), 1)),
+            regtile=regtile if self.n_regtile else np.ones((len(X), 1)),
+            scalar_replace=sr,
+            vectorize=vec,
+            loop_extents=nest.loop_extents,
+            base_registers=nest.base_registers,
+            reuse_potential=nest.reuse_potential,
+            vector_stride_dim=nest.vector_stride_dim,
+            simd_width=float(self.machine.vector_width),
+            nest_groups=tuple(a.dims for a in nest.arrays),
+            vectorizable=nest.vectorizable,
+        )
+
+        compute_cycles = (
+            nest.flops / self.machine.flops_per_cycle * fx.compute_factor
+        )
+
+        ws = nest.working_set_bytes(tile_eff)
+        latency = average_access_latency(self.machine, ws)
+        mem_cycles = nest.accesses * fx.access_factor * latency / _MLP
+
+        hi = np.maximum(compute_cycles, mem_cycles)
+        lo = np.minimum(compute_cycles, mem_cycles)
+        cycles = hi + _OVERLAP_RESIDUE * lo + fx.startup_cycles
+
+        seconds = cycles / self.machine.frequency_hz * self.time_scale
+        for quirk in self.quirks:
+            seconds = seconds * quirk.factor(X)
+        return seconds

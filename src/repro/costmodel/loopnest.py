@@ -1,0 +1,120 @@
+"""Structural description of a tunable loop nest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ArrayRef", "LoopNestSpec"]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """An array touched by the nest.
+
+    ``dims`` lists the indices of the *tiled loops* the array is indexed by
+    (indices into the nest's tile-parameter list); its per-tile working-set
+    contribution is ``elem_bytes × Π tile_extent[dims]``.  ``weight`` scales
+    the array's share of the nest's total accesses.
+    """
+
+    name: str
+    dims: tuple[int, ...]
+    elem_bytes: int = 8
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.elem_bytes <= 0:
+            raise ValueError(f"array {self.name}: elem_bytes must be positive")
+        if self.weight <= 0:
+            raise ValueError(f"array {self.name}: weight must be positive")
+        if len(self.dims) == 0:
+            raise ValueError(f"array {self.name}: needs at least one dimension")
+
+
+@dataclass(frozen=True)
+class LoopNestSpec:
+    """A kernel's loop nest as the cost model sees it.
+
+    Parameters
+    ----------
+    name:
+        Kernel name (also keys the deterministic quirk term).
+    loop_extents:
+        Full trip count of each tiled loop (one entry per tile parameter).
+        A tile size of 1 ("untiled") makes the effective extent the full
+        trip count.
+    arrays:
+        Arrays referenced by the nest.
+    flops:
+        Total floating-point operations of one kernel execution.
+    accesses:
+        Total data accesses of one execution (before reuse optimisations).
+    base_registers:
+        Live registers of the un-transformed loop body.
+    reuse_potential:
+        Fraction of accesses removable by perfect scalar replacement /
+        register tiling (0..1).
+    vector_stride_dim:
+        Index of the tiled loop that must stay wide for profitable SIMD
+        (usually the innermost); ``None`` disables the stride condition.
+    vectorizable:
+        ``False`` for nests whose loop-carried dependences defeat SIMD
+        entirely (e.g. Gauss-Seidel): the VEC flag then only ever costs.
+    """
+
+    name: str
+    loop_extents: tuple[int, ...]
+    arrays: tuple[ArrayRef, ...]
+    flops: float
+    accesses: float
+    base_registers: float = 6.0
+    reuse_potential: float = 0.35
+    vector_stride_dim: int | None = 0
+    vectorizable: bool = True
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.loop_extents) == 0:
+            raise ValueError(f"{self.name}: needs at least one tiled loop")
+        if any(e < 2 for e in self.loop_extents):
+            raise ValueError(f"{self.name}: loop extents must be >= 2")
+        if self.flops <= 0 or self.accesses <= 0:
+            raise ValueError(f"{self.name}: flops and accesses must be positive")
+        if not 0.0 <= self.reuse_potential <= 1.0:
+            raise ValueError(f"{self.name}: reuse_potential must be in [0, 1]")
+        n = len(self.loop_extents)
+        for a in self.arrays:
+            if any(d < 0 or d >= n for d in a.dims):
+                raise ValueError(
+                    f"{self.name}: array {a.name} indexes loop out of range 0..{n - 1}"
+                )
+        if self.vector_stride_dim is not None and not (
+            0 <= self.vector_stride_dim < n
+        ):
+            raise ValueError(f"{self.name}: vector_stride_dim out of range")
+
+    @property
+    def n_tiled_loops(self) -> int:
+        return len(self.loop_extents)
+
+    def working_set_bytes(self, tile_extents: np.ndarray) -> np.ndarray:
+        """Per-configuration tile working set in bytes.
+
+        ``tile_extents`` has shape ``(n_configs, n_tiled_loops)`` and already
+        reflects the tile-size-1 → full-extent rule.
+        """
+        T = np.asarray(tile_extents, dtype=np.float64)
+        if T.ndim != 2 or T.shape[1] != self.n_tiled_loops:
+            raise ValueError(
+                f"{self.name}: expected tile matrix (n, {self.n_tiled_loops}), "
+                f"got {T.shape}"
+            )
+        ws = np.zeros(len(T), dtype=np.float64)
+        for a in self.arrays:
+            contrib = np.full(len(T), float(a.elem_bytes))
+            for d in a.dims:
+                contrib = contrib * T[:, d]
+            ws += contrib
+        return ws

@@ -1,0 +1,100 @@
+"""Deterministic per-kernel parameter-interaction terms.
+
+First-order architectural effects alone make every kernel's response surface
+qualitatively similar.  Real SPAPT kernels differ: a tiling that helps *mm*
+can hurt *adi* because of conflict misses, alignment, or transformation
+legality fallbacks.  We add a kernel-keyed, deterministic interaction term:
+a sparse set of pairwise products of normalised features with bounded
+weights, seeded from the kernel name via :func:`repro.rng.derive`.  The term
+is identical across processes and runs, so the ground-truth surface of
+"atax" is a fixed object of study — but it differs between kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import derive
+
+__all__ = ["InteractionQuirk"]
+
+
+class InteractionQuirk:
+    """A bounded multiplicative perturbation ``q(x) ∈ [1-amp, 1+amp]``.
+
+    Parameters
+    ----------
+    key:
+        Deterministic seed key (the kernel name).
+    n_features:
+        Number of encoded feature columns.
+    feature_low, feature_high:
+        Per-column value ranges used to normalise features into [0, 1].
+    n_terms:
+        Number of pairwise interaction terms.
+    amplitude:
+        Maximum relative perturbation (default ±20%).
+    exclude_features:
+        Feature columns barred from interactions — used when a parameter
+        provably cannot influence a kernel (e.g. the VEC flag on a nest
+        whose dependences forbid vectorization).
+    """
+
+    def __init__(
+        self,
+        key: str,
+        n_features: int,
+        feature_low: np.ndarray,
+        feature_high: np.ndarray,
+        n_terms: int = 8,
+        amplitude: float = 0.2,
+        exclude_features: "tuple[int, ...]" = (),
+    ) -> None:
+        if n_features < 2:
+            raise ValueError("interaction quirks need at least two features")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        low = np.asarray(feature_low, dtype=np.float64)
+        high = np.asarray(feature_high, dtype=np.float64)
+        if low.shape != (n_features,) or high.shape != (n_features,):
+            raise ValueError("feature_low/high must have one entry per feature")
+        if np.any(high < low):
+            raise ValueError("feature_high must be >= feature_low")
+        self._low = low
+        self._span = np.maximum(high - low, 1e-12)
+        self.amplitude = float(amplitude)
+
+        rng = derive(0xC0FFEE, "quirk", key)
+        allowed = np.asarray(
+            [f for f in range(n_features) if f not in set(exclude_features)],
+            dtype=np.intp,
+        )
+        if len(allowed) < 2:
+            raise ValueError("need at least two non-excluded features")
+        n_terms = min(n_terms, len(allowed) * (len(allowed) - 1) // 2)
+        pairs: set[tuple[int, int]] = set()
+        while len(pairs) < n_terms:
+            i, j = rng.choice(allowed, size=2, replace=False)
+            pairs.add((min(i, j), max(i, j)))
+        self._pairs = np.asarray(sorted(pairs), dtype=np.intp)
+        self._weights = rng.uniform(-1.0, 1.0, size=len(self._pairs))
+        # Phase shifts make the interaction non-monotone in each feature.
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, size=(len(self._pairs), 2))
+        self._freqs = rng.uniform(1.0, 3.0, size=(len(self._pairs), 2))
+
+    def factor(self, X: np.ndarray) -> np.ndarray:
+        """Multiplicative factor per configuration row of encoded ``X``."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        Z = (X - self._low[None, :]) / self._span[None, :]
+        raw = np.zeros(len(X), dtype=np.float64)
+        for (i, j), w, (p1, p2), (f1, f2) in zip(
+            self._pairs, self._weights, self._phases, self._freqs
+        ):
+            raw += w * np.sin(f1 * np.pi * Z[:, i] + p1) * np.sin(
+                f2 * np.pi * Z[:, j] + p2
+            )
+        # Normalise to [-1, 1] by the worst-case weight mass, then scale.
+        mass = np.abs(self._weights).sum()
+        if mass > 0:
+            raw = raw / mass
+        return 1.0 + self.amplitude * raw

@@ -1,0 +1,22 @@
+"""Experiment drivers reproducing the paper's evaluation (Sections III-IV).
+
+The pipeline: :mod:`repro.experiments.runner` executes repeated
+active-learning runs per (benchmark, strategy) and averages their traces;
+:mod:`repro.experiments.figures` arranges those traces into the paper's
+figures and tables; :mod:`repro.experiments.report` renders everything as
+text series and CSV for a plot-free environment.
+"""
+
+from repro.experiments.config import ExperimentScale, SCALES
+from repro.experiments.aggregate import AveragedTrace, average_histories
+from repro.experiments.runner import prepare_data, run_comparison, run_strategy
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "AveragedTrace",
+    "average_histories",
+    "prepare_data",
+    "run_strategy",
+    "run_comparison",
+]

@@ -1,0 +1,92 @@
+"""Trace analytics: the quantities EXPERIMENTS.md reports.
+
+These helpers turn a set of :class:`AveragedTrace` objects into the
+summary statistics the paper's prose uses: who wins at the end, where two
+learning curves cross, the area under an error curve (sample-efficiency in
+one number), and win matrices across a benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.aggregate import AveragedTrace
+
+__all__ = [
+    "final_ranking",
+    "crossover_sample",
+    "area_under_curve",
+    "win_matrix",
+]
+
+
+def final_ranking(
+    traces: "dict[str, AveragedTrace]", alpha_key: str
+) -> list[tuple[str, float]]:
+    """Strategies ordered by final RMSE, best first."""
+    pairs = [(name, t.final_rmse(alpha_key)) for name, t in traces.items()]
+    return sorted(pairs, key=lambda p: p[1])
+
+
+def crossover_sample(
+    trace_a: AveragedTrace,
+    trace_b: AveragedTrace,
+    alpha_key: str,
+) -> "int | None":
+    """First evaluation point after which ``a`` stays at or below ``b``.
+
+    Returns the ``n_train`` value of that point, or ``None`` if ``a``
+    never permanently overtakes ``b``.  Both traces must share the
+    evaluation grid.
+    """
+    if not np.array_equal(trace_a.n_train, trace_b.n_train):
+        raise ValueError("traces have different evaluation grids")
+    a = trace_a.rmse_mean[alpha_key]
+    b = trace_b.rmse_mean[alpha_key]
+    below = a <= b
+    for i in range(len(below)):
+        if below[i:].all():
+            return int(trace_a.n_train[i])
+    return None
+
+
+def area_under_curve(trace: AveragedTrace, alpha_key: str) -> float:
+    """Trapezoidal area under the RMSE-vs-#samples curve.
+
+    Lower is better: it rewards both reaching a low error and reaching it
+    early.  Normalised by the sample span so values are comparable across
+    evaluation schedules.
+    """
+    x = trace.n_train.astype(np.float64)
+    y = trace.rmse_mean[alpha_key]
+    if len(x) < 2:
+        return float(y[0])
+    span = x[-1] - x[0]
+    return float(np.trapezoid(y, x) / span)
+
+
+def win_matrix(
+    per_benchmark: "dict[str, dict[str, AveragedTrace]]",
+    alpha_key: str,
+    metric: str = "final",
+) -> dict[str, int]:
+    """Count, per strategy, the benchmarks on which it ranks first.
+
+    ``metric`` is ``"final"`` (final RMSE), ``"min"`` (best RMSE anywhere
+    on the trace) or ``"auc"`` (area under the curve).
+    """
+    if metric not in ("final", "min", "auc"):
+        raise ValueError(f"unknown metric {metric!r}")
+    wins: dict[str, int] = {}
+    for traces in per_benchmark.values():
+        scores = {}
+        for name, t in traces.items():
+            if metric == "final":
+                scores[name] = t.final_rmse(alpha_key)
+            elif metric == "min":
+                scores[name] = t.min_rmse(alpha_key)
+            else:
+                scores[name] = area_under_curve(t, alpha_key)
+        winner = min(scores, key=scores.get)
+        wins[winner] = wins.get(winner, 0) + 1
+    return wins

@@ -1,0 +1,76 @@
+"""Experiment scales.
+
+The paper's protocol (Section III-D): 10,000 uniform configurations split
+into a 7,000 pool and 3,000 test set; n_init 10, batch 1, n_max 500;
+every run repeated 10 times and averaged.  That protocol is available as
+the ``paper`` scale; the ``quick`` and ``smoke`` scales shrink every axis
+so the whole figure suite regenerates in minutes on one core, preserving
+the comparisons' shape.
+
+Select a scale globally with the ``REPRO_SCALE`` environment variable
+(used by the pytest benchmarks) or pass one explicitly to the drivers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SCALES", "scale_from_env"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All size knobs of the evaluation protocol."""
+
+    name: str
+    pool_size: int = 7000
+    test_size: int = 3000
+    n_init: int = 10
+    n_batch: int = 1
+    n_max: int = 500
+    n_trials: int = 10
+    eval_every: int = 1
+    n_estimators: int = 30
+
+    def __post_init__(self) -> None:
+        if self.pool_size < self.n_max:
+            raise ValueError("pool must be at least n_max")
+        if self.test_size < 100:
+            raise ValueError("test set must hold at least 100 samples (alpha=0.01)")
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "paper": ExperimentScale(name="paper"),
+    "quick": ExperimentScale(
+        name="quick",
+        pool_size=1000,
+        test_size=500,
+        n_max=120,
+        n_trials=3,
+        eval_every=5,
+        n_estimators=25,
+    ),
+    "smoke": ExperimentScale(
+        name="smoke",
+        pool_size=400,
+        test_size=300,
+        n_max=60,
+        n_trials=2,
+        eval_every=10,
+        n_estimators=15,
+    ),
+}
+
+
+def scale_from_env(default: str = "quick") -> ExperimentScale:
+    """Resolve the scale from ``REPRO_SCALE`` (default ``quick``)."""
+    name = os.environ.get("REPRO_SCALE", default)
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"REPRO_SCALE={name!r} unknown; choose from {', '.join(SCALES)}"
+        ) from None

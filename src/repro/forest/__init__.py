@@ -1,0 +1,31 @@
+"""Random-forest regression built from scratch.
+
+The paper's surrogate is a random forest whose *across-tree prediction
+variance* serves as the uncertainty estimate every sampling strategy consumes
+(Section II-B, citing Hutter et al. [14]).  scikit-learn is not available in
+this environment, and the forest is load-bearing for the method, so this
+subpackage implements the full stack:
+
+* :mod:`repro.forest.splitter` — vectorised exact CART split search (MSE
+  criterion) with ``min_samples_leaf`` handling,
+* :mod:`repro.forest.tree` — array-backed regression trees with iterative
+  construction and vectorised prediction,
+* :mod:`repro.forest.forest` — bagging ensemble with random feature
+  subspaces, predictive mean / uncertainty, and warm partial updates,
+* :mod:`repro.forest.uncertainty` — across-tree std (the paper's estimator)
+  and a law-of-total-variance alternative (ablation target),
+* :mod:`repro.forest.importance` — impurity and permutation importances.
+"""
+
+from repro.forest.tree import RegressionTree
+from repro.forest.forest import RandomForestRegressor
+from repro.forest.importance import permutation_importance
+from repro.forest.serialize import load_forest, save_forest
+
+__all__ = [
+    "RegressionTree",
+    "RandomForestRegressor",
+    "permutation_importance",
+    "save_forest",
+    "load_forest",
+]

@@ -1,0 +1,179 @@
+"""Bagging random-forest regressor with predictive uncertainty.
+
+Implements the surrogate of Section II-B: bootstrap-aggregated CART trees
+with a random feature subspace per split, mean prediction, and an
+uncertainty estimate used by every sampling strategy.  Also supports the
+"update partially" variant mentioned in Fig. 1 / Algorithm 1: instead of
+refitting all trees on the enlarged training set, refresh only a fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.tree import RegressionTree
+from repro.forest.uncertainty import across_tree_std, total_variance_std
+from repro.rng import as_generator
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Random forest for regression with per-prediction uncertainty.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf, max_features:
+        Passed through to each :class:`RegressionTree`.  ``max_features``
+        defaults to ``"third"`` — Breiman's recommendation for regression and
+        the setting used by Hutter et al. for runtime prediction.
+    bootstrap:
+        Draw a bootstrap resample per tree (bagging).  Disabling it removes
+        the first of the forest's two randomness sources.
+    uncertainty:
+        ``"across_trees"`` (the paper's estimator: std of per-tree means) or
+        ``"total_variance"`` (adds within-leaf variance).
+    seed:
+        Anything :func:`repro.rng.as_generator` accepts.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: "int | float | str | None" = "third",
+        bootstrap: bool = True,
+        uncertainty: str = "across_trees",
+        seed=None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if uncertainty not in ("across_trees", "total_variance"):
+            raise ValueError(f"unknown uncertainty estimator: {uncertainty!r}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.uncertainty = uncertainty
+        self.rng = as_generator(seed)
+        self.trees_: list[RegressionTree] = []
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+    def _fit_one_tree(self, X: np.ndarray, y: np.ndarray) -> RegressionTree:
+        tree = RegressionTree(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=self.rng,
+        )
+        if self.bootstrap:
+            idx = self.rng.integers(0, len(X), size=len(X))
+            tree.fit(X[idx], y[idx])
+        else:
+            tree.fit(X, y)
+        return tree
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit all trees from scratch on ``(X, y)``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        self._X, self._y = X.copy(), y.copy()
+        self.trees_ = [self._fit_one_tree(X, y) for _ in range(self.n_estimators)]
+        return self
+
+    def update(
+        self, X_new: np.ndarray, y_new: np.ndarray, refresh_fraction: float = 1.0
+    ) -> "RandomForestRegressor":
+        """Append samples and refresh a fraction of the trees.
+
+        ``refresh_fraction=1.0`` is equivalent to a full refit on the enlarged
+        training set (the paper's default of constructing the forest "from
+        scratch"); smaller fractions implement the "update it partially"
+        variant: a random subset of trees is refit on the new training set,
+        the others keep their (stale) structure.  At least one tree is always
+        refreshed so new data is never silently dropped.
+        """
+        if self._X is None or self._y is None:
+            return self.fit(X_new, y_new)
+        if not 0.0 < refresh_fraction <= 1.0:
+            raise ValueError(f"refresh_fraction must be in (0, 1], got {refresh_fraction}")
+        X_new = np.atleast_2d(np.asarray(X_new, dtype=np.float64))
+        y_new = np.atleast_1d(np.asarray(y_new, dtype=np.float64))
+        if len(X_new) != len(y_new):
+            raise ValueError(f"X_new has {len(X_new)} rows but y_new has {len(y_new)}")
+        self._X = np.vstack([self._X, X_new])
+        self._y = np.concatenate([self._y, y_new])
+        n_refresh = max(1, int(round(refresh_fraction * self.n_estimators)))
+        which = self.rng.choice(self.n_estimators, size=n_refresh, replace=False)
+        for t in which:
+            self.trees_[t] = self._fit_one_tree(self._X, self._y)
+        return self
+
+    # -- inference ------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted; call fit() first")
+
+    def per_tree_predictions(self, X: np.ndarray) -> np.ndarray:
+        """Stacked per-tree mean predictions, shape ``(n_trees, n_samples)``."""
+        self._require_fitted()
+        return np.stack([t.predict(X) for t in self.trees_], axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Forest prediction: mean over trees."""
+        return self.per_tree_predictions(X).mean(axis=0)
+
+    def predict_with_uncertainty(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(mu, sigma)`` — prediction mean and uncertainty.
+
+        This is the (μ, σ) pair every sampling strategy of the paper scores.
+        """
+        self._require_fitted()
+        if self.uncertainty == "across_trees":
+            P = self.per_tree_predictions(X)
+            return P.mean(axis=0), across_tree_std(P)
+        means = []
+        variances = []
+        for t in self.trees_:
+            m, v, _ = t.leaf_stats(X)
+            means.append(m)
+            variances.append(v)
+        M = np.stack(means, axis=0)
+        V = np.stack(variances, axis=0)
+        return M.mean(axis=0), total_variance_std(M, V)
+
+    def feature_importances(self) -> np.ndarray:
+        """Normalised mean impurity importance across trees."""
+        self._require_fitted()
+        imp = np.mean([t.impurity_importances() for t in self.trees_], axis=0)
+        total = imp.sum()
+        return imp / total if total > 0 else imp
+
+    @property
+    def n_training_samples(self) -> int:
+        return 0 if self._y is None else len(self._y)
+
+    @property
+    def training_targets(self) -> np.ndarray:
+        """Labels the forest was fit on (used by incumbent-based strategies)."""
+        self._require_fitted()
+        if self._y is None:
+            raise RuntimeError("this forest holds no training data (loaded from disk?)")
+        return self._y
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{len(self.trees_)} trees" if self.trees_ else "unfitted"
+        return f"RandomForestRegressor({state}, n={self.n_training_samples})"

@@ -1,0 +1,78 @@
+"""Forest persistence.
+
+The paper's workflow separates model *construction* (expensive: real
+measurements) from model *use* (surrogate-annotated tuning, Fig. 8).  In
+practice those happen in different processes, so the fitted forest must
+survive a round trip to disk.  Trees are flat arrays already; the whole
+ensemble serialises to one compressed ``.npz``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.forest import RandomForestRegressor
+from repro.forest.tree import RegressionTree
+
+__all__ = ["save_forest", "load_forest"]
+
+_FORMAT_VERSION = 1
+
+_TREE_FIELDS = (
+    "feature_",
+    "threshold_",
+    "left_",
+    "right_",
+    "value_",
+    "variance_",
+    "count_",
+    "impurity_",
+)
+
+
+def save_forest(model: RandomForestRegressor, path: str) -> None:
+    """Serialise a fitted forest to ``path`` (``.npz``)."""
+    if not model.trees_:
+        raise ValueError("cannot save an unfitted forest")
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "n_trees": np.asarray(len(model.trees_)),
+        "n_features": np.asarray(model.trees_[0].n_features_),
+        "uncertainty": np.asarray(model.uncertainty),
+    }
+    for i, tree in enumerate(model.trees_):
+        for field in _TREE_FIELDS:
+            payload[f"tree{i}_{field}"] = getattr(tree, field)
+    np.savez_compressed(path, **payload)
+
+
+def load_forest(path: str) -> RandomForestRegressor:
+    """Load a forest saved by :func:`save_forest`.
+
+    The returned model predicts (with uncertainty) but holds no training
+    data, so it cannot be :meth:`~RandomForestRegressor.update`-d; refit
+    from data if you need to keep learning.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported forest format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        n_trees = int(data["n_trees"])
+        n_features = int(data["n_features"])
+        uncertainty = str(data["uncertainty"])
+        model = RandomForestRegressor(
+            n_estimators=n_trees, uncertainty=uncertainty
+        )
+        trees = []
+        for i in range(n_trees):
+            tree = RegressionTree()
+            for field in _TREE_FIELDS:
+                setattr(tree, field, data[f"tree{i}_{field}"])
+            tree.n_features_ = n_features
+            tree._fitted = True
+            trees.append(tree)
+        model.trees_ = trees
+    return model

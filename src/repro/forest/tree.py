@@ -1,0 +1,249 @@
+"""Array-backed CART regression tree.
+
+Construction is iterative (explicit stack) to avoid recursion limits and to
+keep node bookkeeping in flat arrays; prediction descends all query rows
+through the tree simultaneously, one level per vectorised step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.splitter import best_split
+
+__all__ = ["RegressionTree"]
+
+_LEAF = -1
+
+
+class RegressionTree:
+    """A single regression tree (MSE criterion).
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit; ``None`` grows until purity / sample limits.
+    min_samples_split:
+        Smallest node that may be split further.
+    min_samples_leaf:
+        Smallest admissible child size.
+    max_features:
+        Features considered per split: ``None``/"all" (every feature),
+        ``"sqrt"``, ``"third"`` (Breiman's regression default p/3), an int
+        count, or a float fraction.
+    rng:
+        Generator used for per-node feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: "int | float | str | None" = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None)")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._fitted = False
+
+    # -- configuration -----------------------------------------------------
+    def _n_split_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None or mf == "all":
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "third":
+            return max(1, n_features // 3)
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError(f"max_features fraction must be in (0, 1], got {mf}")
+            return max(1, int(round(mf * n_features)))
+        if isinstance(mf, int):
+            if not 1 <= mf <= n_features:
+                raise ValueError(
+                    f"max_features={mf} out of range [1, {n_features}]"
+                )
+            return mf
+        raise ValueError(f"unrecognised max_features: {mf!r}")
+
+    # -- fitting -------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Grow the tree on ``(X, y)``; returns ``self``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        if not np.isfinite(X).all() or not np.isfinite(y).all():
+            raise ValueError("X and y must be finite")
+
+        n, d = X.shape
+        m = self._n_split_features(d)
+
+        # Growable flat node storage.
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        variance: list[float] = []
+        count: list[int] = []
+        impurity: list[float] = []
+
+        def new_node() -> int:
+            feature.append(_LEAF)
+            threshold.append(0.0)
+            left.append(_LEAF)
+            right.append(_LEAF)
+            value.append(0.0)
+            variance.append(0.0)
+            count.append(0)
+            impurity.append(0.0)
+            return len(feature) - 1
+
+        root = new_node()
+        # Stack of (node_id, sample_indices, depth).
+        stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(n), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            y_node = y[idx]
+            # Mean/variance/SSE from one pass (Σy, Σy²): this is the hot
+            # loop of forest construction, numpy reduction wrappers are
+            # too heavy here.
+            k = len(idx)
+            s = float(y_node.sum())
+            q = float(np.dot(y_node, y_node))
+            mean = s / k
+            value[node] = mean
+            variance[node] = max(q / k - mean * mean, 0.0)
+            count[node] = k
+            impurity[node] = max(q - s * s / k, 0.0)
+
+            if (
+                k < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or impurity[node] <= 1e-12
+            ):
+                continue
+
+            if m >= d:
+                feats = np.arange(d)
+            else:
+                feats = self.rng.choice(d, size=m, replace=False)
+            split = best_split(X[idx], y_node, feats, self.min_samples_leaf)
+            if split is None:
+                continue
+
+            feature[node] = split.feature
+            threshold[node] = split.threshold
+            li = new_node()
+            ri = new_node()
+            left[node] = li
+            right[node] = ri
+            stack.append((li, idx[split.left_mask], depth + 1))
+            stack.append((ri, idx[~split.left_mask], depth + 1))
+
+        self.n_features_ = d
+        self.feature_ = np.asarray(feature, dtype=np.intp)
+        self.threshold_ = np.asarray(threshold, dtype=np.float64)
+        self.left_ = np.asarray(left, dtype=np.intp)
+        self.right_ = np.asarray(right, dtype=np.intp)
+        self.value_ = np.asarray(value, dtype=np.float64)
+        self.variance_ = np.asarray(variance, dtype=np.float64)
+        self.count_ = np.asarray(count, dtype=np.intp)
+        self.impurity_ = np.asarray(impurity, dtype=np.float64)
+        self._fitted = True
+        return self
+
+    # -- inference ------------------------------------------------------------
+    def _check_query(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"query has {X.shape[1]} features, tree was fit on {self.n_features_}"
+            )
+        return X
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by each query row."""
+        X = self._check_query(X)
+        node = np.zeros(len(X), dtype=np.intp)
+        active = self.feature_[node] != _LEAF
+        while active.any():
+            act_nodes = node[active]
+            go_left = (
+                X[active, self.feature_[act_nodes]] <= self.threshold_[act_nodes]
+            )
+            nxt = np.where(go_left, self.left_[act_nodes], self.right_[act_nodes])
+            node[active] = nxt
+            active = self.feature_[node] != _LEAF
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean training target of the leaf each row falls into."""
+        leaves = self.apply(X)
+        return self.value_[leaves]
+
+    def leaf_stats(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(mean, variance, count) of the reached leaf for each row."""
+        leaves = self.apply(X)
+        return self.value_[leaves], self.variance_[leaves], self.count_[leaves]
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        self._require_fitted()
+        return len(self.feature_)
+
+    @property
+    def n_leaves(self) -> int:
+        self._require_fitted()
+        return int((self.feature_ == _LEAF).sum())
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth of the fitted tree."""
+        self._require_fitted()
+        depths = np.zeros(self.n_nodes, dtype=np.intp)
+        # Nodes are created parent-before-children, so one forward pass works.
+        for i in range(self.n_nodes):
+            if self.feature_[i] != _LEAF:
+                depths[self.left_[i]] = depths[i] + 1
+                depths[self.right_[i]] = depths[i] + 1
+        return int(depths.max())
+
+    def impurity_importances(self) -> np.ndarray:
+        """Total SSE reduction credited to each feature (unnormalised)."""
+        self._require_fitted()
+        imp = np.zeros(self.n_features_, dtype=np.float64)
+        internal = np.flatnonzero(self.feature_ != _LEAF)
+        for i in internal:
+            gain = self.impurity_[i] - (
+                self.impurity_[self.left_[i]] + self.impurity_[self.right_[i]]
+            )
+            imp[self.feature_[i]] += max(gain, 0.0)
+        return imp
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("tree is not fitted; call fit() first")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._fitted:
+            return "RegressionTree(unfitted)"
+        return f"RegressionTree({self.n_nodes} nodes, {self.n_leaves} leaves)"

@@ -1,0 +1,55 @@
+"""Uncertainty estimators for forest predictions.
+
+The paper (Section II-B) uses the variance of the per-tree predictions as
+the uncertainty of the forest prediction, citing Hutter et al. [14].  The
+same reference also derives a *law of total variance* estimator that adds the
+within-leaf variance of each tree; we provide both and compare them in the
+``bench_ablation_uncertainty`` benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["across_tree_std", "total_variance_std"]
+
+
+def across_tree_std(per_tree_predictions: np.ndarray) -> np.ndarray:
+    """Standard deviation across trees (paper's estimator).
+
+    Parameters
+    ----------
+    per_tree_predictions:
+        Array of shape ``(n_trees, n_samples)``.
+    """
+    P = np.asarray(per_tree_predictions, dtype=np.float64)
+    if P.ndim != 2:
+        raise ValueError(f"expected (n_trees, n_samples), got shape {P.shape}")
+    return P.std(axis=0)
+
+
+def total_variance_std(
+    leaf_means: np.ndarray, leaf_variances: np.ndarray
+) -> np.ndarray:
+    """Law-of-total-variance predictive std (Hutter et al., eq. for RF).
+
+    .. math::
+        \\operatorname{Var}[y] = \\mathbb E_b[\\sigma_b^2]
+                                 + \\operatorname{Var}_b[\\mu_b]
+
+    where :math:`\\mu_b, \\sigma_b^2` are the mean and variance of the leaf
+    that tree *b* routes the query into.
+
+    Parameters
+    ----------
+    leaf_means, leaf_variances:
+        Arrays of shape ``(n_trees, n_samples)``.
+    """
+    M = np.asarray(leaf_means, dtype=np.float64)
+    V = np.asarray(leaf_variances, dtype=np.float64)
+    if M.shape != V.shape or M.ndim != 2:
+        raise ValueError(
+            f"leaf means/variances must share a 2-D shape, got {M.shape} vs {V.shape}"
+        )
+    total_var = V.mean(axis=0) + M.var(axis=0)
+    return np.sqrt(np.maximum(total_var, 0.0))

@@ -1,0 +1,32 @@
+"""The 12 SPAPT kernels used in the paper's evaluation.
+
+SPAPT (Balaprakash, Wild & Norris 2012) packages serial computation kernels
+with Orio-tunable compilation parameters: cache tiling, unroll-jam, register
+tiling, scalar replacement and vectorization.  The paper models 12 of the 18
+kernels; we define those 12 with parameter spaces following the Table I
+conventions (tile sizes 1..512, unroll-jam 1..31, register tiles {1, 8, 32},
+two boolean flags) and back each with a :class:`repro.costmodel.KernelCostModel`
+response surface on Platform A.
+"""
+
+from repro.kernels.spapt import (
+    KERNEL_DESCRIPTORS,
+    SPAPT_KERNEL_NAMES,
+    SpaptKernel,
+    make_kernel,
+)
+from repro.kernels.extra import (
+    EXTRA_KERNEL_DESCRIPTORS,
+    EXTRA_KERNEL_NAMES,
+    make_extra_kernel,
+)
+
+__all__ = [
+    "SPAPT_KERNEL_NAMES",
+    "KERNEL_DESCRIPTORS",
+    "SpaptKernel",
+    "make_kernel",
+    "EXTRA_KERNEL_NAMES",
+    "EXTRA_KERNEL_DESCRIPTORS",
+    "make_extra_kernel",
+]

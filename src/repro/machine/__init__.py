@@ -1,0 +1,23 @@
+"""Machine models standing in for the paper's two platforms (Table IV).
+
+The paper times kernels on a Xeon E5-2680 v3 node (Platform A) and MPI
+applications on an E5-2680 v4 cluster with 100 Gbps Omni-Path (Platform B).
+Neither is available here, so the cost models in :mod:`repro.costmodel` and
+:mod:`repro.apps` are parameterised by these machine descriptions: cache
+hierarchy, compute throughput, memory bandwidth and an α-β network model.
+"""
+
+from repro.machine.model import CacheLevel, MachineModel, NetworkModel
+from repro.machine.cache import average_access_latency, miss_fraction
+from repro.machine.platforms import PLATFORM_A, PLATFORM_B, platform_table
+
+__all__ = [
+    "CacheLevel",
+    "MachineModel",
+    "NetworkModel",
+    "average_access_latency",
+    "miss_fraction",
+    "PLATFORM_A",
+    "PLATFORM_B",
+    "platform_table",
+]

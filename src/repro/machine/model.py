@@ -1,0 +1,86 @@
+"""Dataclasses describing a compute node and its interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheLevel", "NetworkModel", "MachineModel"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy."""
+
+    name: str
+    size_bytes: int
+    latency_cycles: float  # load-to-use latency when hitting this level
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"cache {self.name}: size must be positive")
+        if self.latency_cycles <= 0:
+            raise ValueError(f"cache {self.name}: latency must be positive")
+        if self.line_bytes <= 0:
+            raise ValueError(f"cache {self.name}: line size must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """First-order α-β model of the interconnect.
+
+    ``alpha`` is the per-message latency in seconds, ``beta`` the inverse
+    bandwidth in seconds per byte.  A 100 Gbps Omni-Path link has
+    β ≈ 8e-11 s/B and α ≈ 1 µs.
+    """
+
+    alpha_s: float
+    beta_s_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.alpha_s < 0 or self.beta_s_per_byte < 0:
+            raise ValueError("network parameters must be non-negative")
+
+    def message_time(self, n_bytes: float) -> float:
+        """Point-to-point time for one message of ``n_bytes``."""
+        return self.alpha_s + self.beta_s_per_byte * float(n_bytes)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A compute node: clock, compute throughput, memory system, network."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    caches: tuple[CacheLevel, ...]
+    memory_latency_cycles: float
+    memory_bandwidth_bytes_s: float
+    memory_bytes: int
+    flops_per_cycle: float = 4.0  # scalar FMA throughput per core
+    vector_width: int = 4  # doubles per SIMD lane group (AVX2)
+    network: NetworkModel | None = None
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("machine must have at least one core")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if len(self.caches) == 0:
+            raise ValueError("machine needs at least one cache level")
+        sizes = [c.size_bytes for c in self.caches]
+        if sizes != sorted(sizes):
+            raise ValueError("cache levels must be ordered smallest to largest")
+        lats = [c.latency_cycles for c in self.caches]
+        if lats != sorted(lats):
+            raise ValueError("cache latencies must be non-decreasing with level")
+        if self.memory_latency_cycles <= self.caches[-1].latency_cycles:
+            raise ValueError("memory latency must exceed last-level-cache latency")
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return float(cycles) / self.frequency_hz
+
+    def peak_flops(self) -> float:
+        """Node peak (all cores, vectorised)."""
+        return self.cores * self.frequency_hz * self.flops_per_cycle * self.vector_width

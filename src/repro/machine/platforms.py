@@ -1,0 +1,87 @@
+"""The paper's two platforms (Table IV), as machine models.
+
+================  ===================  ====================
+Specification     Platform A           Platform B
+================  ===================  ====================
+CPU type          E5-2680 v3           E5-2680 v4
+CPU frequency     2.5 GHz              2.4 GHz
+#core             24                   28
+memory            64 GB                128 GB
+network           —                    100 Gbps OPA
+================  ===================  ====================
+
+Cache sizes, latencies and bandwidths are the published Haswell-EP /
+Broadwell-EP figures; they parameterise the simulated measurement substrate,
+they are not themselves tuned.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import CacheLevel, MachineModel, NetworkModel
+
+__all__ = ["PLATFORM_A", "PLATFORM_B", "platform_table"]
+
+GB = 1024**3
+
+#: Platform A — kernel measurements (SPAPT, serial, single node).
+PLATFORM_A = MachineModel(
+    name="Platform A (E5-2680 v3)",
+    cores=24,
+    frequency_hz=2.5e9,
+    caches=(
+        CacheLevel("L1d", 32 * 1024, latency_cycles=4.0),
+        CacheLevel("L2", 256 * 1024, latency_cycles=12.0),
+        CacheLevel("L3", 30 * 1024 * 1024, latency_cycles=34.0),
+    ),
+    memory_latency_cycles=200.0,
+    memory_bandwidth_bytes_s=60e9,
+    memory_bytes=64 * GB,
+    flops_per_cycle=4.0,
+    vector_width=4,
+    network=None,
+)
+
+#: Platform B — application measurements (kripke/hypre, MPI over OPA).
+PLATFORM_B = MachineModel(
+    name="Platform B (E5-2680 v4)",
+    cores=28,
+    frequency_hz=2.4e9,
+    caches=(
+        CacheLevel("L1d", 32 * 1024, latency_cycles=4.0),
+        CacheLevel("L2", 256 * 1024, latency_cycles=12.0),
+        CacheLevel("L3", 35 * 1024 * 1024, latency_cycles=36.0),
+    ),
+    memory_latency_cycles=210.0,
+    memory_bandwidth_bytes_s=68e9,
+    memory_bytes=128 * GB,
+    flops_per_cycle=4.0,
+    vector_width=4,
+    network=NetworkModel(alpha_s=1.0e-6, beta_s_per_byte=8.0e-11),
+)
+
+
+def platform_table() -> str:
+    """Render Table IV (node configuration of the two platforms)."""
+    rows = [
+        ("Specification", "Platform A", "Platform B"),
+        ("CPU type", "E5-2680 v3", "E5-2680 v4"),
+        (
+            "CPU frequency",
+            f"{PLATFORM_A.frequency_hz / 1e9:.1f}GHz",
+            f"{PLATFORM_B.frequency_hz / 1e9:.1f}GHz",
+        ),
+        ("#core", str(PLATFORM_A.cores), str(PLATFORM_B.cores)),
+        (
+            "memory",
+            f"{PLATFORM_A.memory_bytes // GB}GB",
+            f"{PLATFORM_B.memory_bytes // GB}GB",
+        ),
+        ("network", "-", "100Gbps OPA"),
+    ]
+    widths = [max(len(r[i]) for r in rows) for i in range(3)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

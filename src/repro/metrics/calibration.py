@@ -1,0 +1,100 @@
+"""Uncertainty-calibration diagnostics for the surrogate's σ.
+
+Every sampling strategy in this package consumes the model's uncertainty;
+if σ is systematically off, the exploration/exploitation balance the PWU
+score strikes is off too.  These diagnostics quantify σ's quality the
+standard way: normalised residuals ``z = (y - μ)/σ`` should be roughly
+standard-normal, so ~68% of |z| should fall below 1 and ~95% below 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CalibrationReport", "uncertainty_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Coverage and sharpness summary of a (μ, σ) predictive pair."""
+
+    coverage_1sigma: float
+    coverage_2sigma: float
+    mean_z: float
+    rms_z: float
+    n: int
+
+    @property
+    def overconfident(self) -> bool:
+        """σ too small: far fewer points inside ±2σ than a Gaussian's 95%."""
+        return self.coverage_2sigma < 0.80
+
+    @property
+    def underconfident(self) -> bool:
+        """σ too large: essentially everything inside ±1σ."""
+        return self.coverage_1sigma > 0.95
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = (
+            "overconfident"
+            if self.overconfident
+            else "underconfident"
+            if self.underconfident
+            else "reasonably calibrated"
+        )
+        return (
+            f"coverage@1σ={self.coverage_1sigma:.2f} "
+            f"coverage@2σ={self.coverage_2sigma:.2f} "
+            f"rms(z)={self.rms_z:.2f} → {verdict}"
+        )
+
+
+def uncertainty_calibration(
+    y_true: np.ndarray,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    min_sigma: float = 1e-12,
+) -> CalibrationReport:
+    """Compute coverage/z statistics for predictions with uncertainty.
+
+    Points with ``σ < min_sigma`` (e.g. queries landing exactly on
+    training data in an interpolating forest) are excluded from the
+    z-statistics but still counted in coverage when the prediction is
+    exact.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if not (y_true.shape == mu.shape == sigma.shape):
+        raise ValueError(
+            f"shape mismatch: y{y_true.shape} mu{mu.shape} sigma{sigma.shape}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("cannot calibrate zero predictions")
+    if np.any(sigma < 0):
+        raise ValueError("uncertainties must be non-negative")
+
+    residual = np.abs(y_true - mu)
+    usable = sigma >= min_sigma
+    # Degenerate-σ points: covered iff the prediction is (numerically) exact.
+    exact = ~usable & (residual <= min_sigma)
+    inside_1 = (residual <= sigma) & usable | exact
+    inside_2 = (residual <= 2.0 * sigma) & usable | exact
+
+    if usable.any():
+        z = residual[usable] / sigma[usable]
+        mean_z = float(z.mean())
+        rms_z = float(np.sqrt(np.mean(z * z)))
+    else:
+        mean_z = float("nan")
+        rms_z = float("nan")
+    return CalibrationReport(
+        coverage_1sigma=float(inside_1.mean()),
+        coverage_2sigma=float(inside_2.mean()),
+        mean_z=mean_z,
+        rms_z=rms_z,
+        n=len(y_true),
+    )

@@ -1,0 +1,70 @@
+"""Modeling-cost metrics (Equation 3 and the Fig. 7 speedup).
+
+``CC`` is the cumulative time spent *labeling*: the sum of the measured
+execution times of every training sample so far.  ``cost_to_reach`` walks an
+error-versus-cost trace and reports the first cumulative cost at which a
+target error level is reached; the Fig. 7 speedup is the ratio of those
+costs between PBUS and PWU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cumulative_cost", "cost_to_reach", "speedup_at_level"]
+
+
+def cumulative_cost(y_train: np.ndarray) -> float:
+    """Equation 3: total labeling time of the training set."""
+    y = np.asarray(y_train, dtype=np.float64)
+    if np.any(y < 0):
+        raise ValueError("execution times cannot be negative")
+    return float(y.sum())
+
+
+def cost_to_reach(
+    costs: np.ndarray, errors: np.ndarray, level: float
+) -> float:
+    """First cumulative cost at which ``errors`` drops to ``level`` or below.
+
+    ``costs`` and ``errors`` are a learning trace (both aligned, costs
+    non-decreasing).  Returns ``nan`` if the level is never reached.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    errors = np.asarray(errors, dtype=np.float64)
+    if costs.shape != errors.shape:
+        raise ValueError(f"shape mismatch: {costs.shape} vs {errors.shape}")
+    if len(costs) == 0:
+        raise ValueError("empty learning trace")
+    if np.any(np.diff(costs) < -1e-9):
+        raise ValueError("cumulative costs must be non-decreasing")
+    hit = np.flatnonzero(errors <= level)
+    if len(hit) == 0:
+        return float("nan")
+    return float(costs[hit[0]])
+
+
+def speedup_at_level(
+    costs_baseline: np.ndarray,
+    errors_baseline: np.ndarray,
+    costs_ours: np.ndarray,
+    errors_ours: np.ndarray,
+    level: float | None = None,
+    tolerance: float = 1.05,
+) -> tuple[float, float]:
+    """Fig. 7: baseline-cost / our-cost to reach a common low error level.
+
+    If ``level`` is not given it is chosen as the smallest error *both*
+    traces reach (so the ratio is well defined), relaxed by ``tolerance``.
+    Returns ``(speedup, level)``; speedup is ``nan`` when either trace never
+    reaches the level.
+    """
+    eb = np.asarray(errors_baseline, dtype=np.float64)
+    eo = np.asarray(errors_ours, dtype=np.float64)
+    if level is None:
+        level = max(float(eb.min()), float(eo.min())) * tolerance
+    cb = cost_to_reach(costs_baseline, eb, level)
+    co = cost_to_reach(costs_ours, eo, level)
+    if np.isnan(cb) or np.isnan(co) or co <= 0:
+        return float("nan"), float(level)
+    return cb / co, float(level)

@@ -1,0 +1,46 @@
+"""Prediction-error metrics (Equation 2).
+
+The paper evaluates the model only where it matters for tuning: the top
+``100α%`` of the *test set's performance ranking* (shortest observed
+execution times).  ``top_alpha_rmse`` implements Equation 2 literally:
+sort the test set by observed performance, keep the best ``m = ⌊nα⌋``
+samples, compute RMSE there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "top_alpha_rmse"]
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain root-mean-square error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if len(y_true) == 0:
+        raise ValueError("cannot compute RMSE of zero samples")
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def top_alpha_rmse(y_true: np.ndarray, y_pred: np.ndarray, alpha: float) -> float:
+    """Equation 2: RMSE over the top ``⌊nα⌋`` samples of the performance ranking.
+
+    High performance = short execution time, so the ranking is ascending in
+    ``y_true``.  Requires ``⌊nα⌋ >= 1``.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    m = int(np.floor(len(y_true) * alpha))
+    if m < 1:
+        raise ValueError(
+            f"test set of {len(y_true)} samples has no top-{alpha:.0%} slice"
+        )
+    order = np.argsort(y_true, kind="stable")[:m]
+    return rmse(y_true[order], y_pred[order])

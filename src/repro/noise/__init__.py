@@ -1,0 +1,5 @@
+"""Measurement-noise model and repeat-averaging protocol (Section III-B)."""
+
+from repro.noise.measurement import MeasurementProtocol, KERNEL_PROTOCOL, APP_PROTOCOL
+
+__all__ = ["MeasurementProtocol", "KERNEL_PROTOCOL", "APP_PROTOCOL"]

@@ -1,0 +1,89 @@
+"""Strategy interface and shared selection helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.space import DataPool
+
+__all__ = ["SamplingStrategy", "ModelFreeStrategy", "top_k_by_score"]
+
+
+class SamplingStrategy(ABC):
+    """Selects which pool configurations to evaluate next (Algorithm 1, line 6)."""
+
+    #: Short identifier used in result tables ("pwu", "pbus", ...).
+    name: str = "base"
+
+    #: Whether the strategy consults the surrogate model at all.  Model-free
+    #: strategies can run before the cold-start model exists.
+    requires_model: bool = True
+
+    @abstractmethod
+    def select(
+        self,
+        model,
+        pool: DataPool,
+        n_batch: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return ``n_batch`` distinct *global* indices of available pool rows.
+
+        ``model`` is a fitted :class:`~repro.forest.RandomForestRegressor`
+        (or anything exposing ``predict_with_uncertainty``); it may be
+        ``None`` for strategies with ``requires_model = False``.
+        """
+
+    def scores(self, model, X: np.ndarray) -> np.ndarray:
+        """Per-configuration acquisition scores (higher = more desirable).
+
+        Only *score-based* strategies (PWU, MaxU, BestPerf, EI, variants)
+        implement this; filter-based ones (PBUS, BRS, random) raise.  The
+        batch-diversification wrapper builds on this hook.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose per-configuration scores"
+        )
+
+    # -- shared validation ------------------------------------------------
+    @staticmethod
+    def _check_request(pool: DataPool, n_batch: int) -> np.ndarray:
+        if n_batch < 1:
+            raise ValueError(f"n_batch must be >= 1, got {n_batch}")
+        available = pool.available_indices()
+        if n_batch > len(available):
+            raise ValueError(
+                f"requested {n_batch} samples but only {len(available)} remain"
+            )
+        return available
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class ModelFreeStrategy(SamplingStrategy):
+    """Base class for strategies that ignore the surrogate."""
+
+    requires_model = False
+
+
+def top_k_by_score(
+    indices: np.ndarray, scores: np.ndarray, k: int
+) -> np.ndarray:
+    """The ``k`` indices with the highest scores (deterministic tie-break).
+
+    Ties are broken by ascending index so runs are reproducible across
+    platforms; scores must be finite.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != indices.shape:
+        raise ValueError("indices and scores must align")
+    if not np.isfinite(scores).all():
+        raise ValueError("scores must be finite")
+    if k > len(indices):
+        raise ValueError(f"requested top-{k} of {len(indices)} entries")
+    # Stable sort on -score; equal scores keep ascending index order.
+    order = np.argsort(-scores, kind="stable")
+    return indices[order[:k]]

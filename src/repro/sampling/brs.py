@@ -1,0 +1,40 @@
+"""Biased Random Sampling (BRS) — the paper's refined random baseline.
+
+Section III-C: "sample randomly from the top p% configurations in predicted
+performance rankings".  Performance is predicted by the current surrogate;
+shorter predicted execution time ranks higher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import SamplingStrategy
+from repro.space import DataPool
+
+__all__ = ["BiasedRandomSampling"]
+
+
+class BiasedRandomSampling(SamplingStrategy):
+    """Uniform choice among the predicted top-``p`` fraction of the pool."""
+
+    name = "brs"
+
+    def __init__(self, top_fraction: float = 0.10) -> None:
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+        self.top_fraction = top_fraction
+
+    def select(
+        self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        available = self._check_request(pool, n_batch)
+        mu = model.predict(pool.X[available])
+        n_top = max(n_batch, int(np.ceil(self.top_fraction * len(available))))
+        # Best predicted performance = smallest predicted time.
+        order = np.argsort(mu, kind="stable")
+        top = available[order[:n_top]]
+        return rng.choice(top, size=n_batch, replace=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BiasedRandomSampling(top_fraction={self.top_fraction})"

@@ -1,0 +1,34 @@
+"""MaxU — classic uncertainty sampling (pure exploration)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import SamplingStrategy, top_k_by_score
+from repro.space import DataPool
+
+__all__ = ["MaxUncertaintySampling"]
+
+
+class MaxUncertaintySampling(SamplingStrategy):
+    """Select the configurations the forest is least sure about.
+
+    The textbook active-learning strategy; it models the *whole* space
+    equally well, spending most of its (expensive!) labels on the slow
+    regions the tuner will never visit.
+    """
+
+    name = "maxu"
+
+    def scores(self, model, X: np.ndarray) -> np.ndarray:
+        """Prediction uncertainty σ as the acquisition score."""
+        _, sigma = model.predict_with_uncertainty(X)
+        return sigma
+
+    def select(
+        self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        available = self._check_request(pool, n_batch)
+        return top_k_by_score(
+            available, self.scores(model, pool.X[available]), n_batch
+        )

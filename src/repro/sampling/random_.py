@@ -1,0 +1,22 @@
+"""Uniform random sampling — the conventional EPM baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import ModelFreeStrategy
+from repro.space import DataPool
+
+__all__ = ["UniformRandomSampling"]
+
+
+class UniformRandomSampling(ModelFreeStrategy):
+    """Draw the batch uniformly from the remaining pool."""
+
+    name = "random"
+
+    def select(
+        self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        available = self._check_request(pool, n_batch)
+        return rng.choice(available, size=n_batch, replace=False)

@@ -1,0 +1,65 @@
+"""Name-based strategy construction for the experiment drivers."""
+
+from __future__ import annotations
+
+from repro.sampling.base import SamplingStrategy
+from repro.sampling.bestperf import BestPerfSampling
+from repro.sampling.brs import BiasedRandomSampling
+from repro.sampling.maxu import MaxUncertaintySampling
+from repro.sampling.pbus import PBUSampling
+from repro.sampling.pwu import PWUSampling
+from repro.sampling.random_ import UniformRandomSampling
+
+__all__ = ["STRATEGY_NAMES", "make_strategy"]
+
+#: All strategies compared in the paper's figures, in plotting order.
+STRATEGY_NAMES: tuple[str, ...] = (
+    "random",
+    "brs",
+    "bestperf",
+    "maxu",
+    "pbus",
+    "pwu",
+)
+
+
+def make_strategy(name: str, alpha: float = 0.05) -> SamplingStrategy:
+    """Instantiate a strategy by name.
+
+    ``alpha`` parameterises PWU (Equation 1); the biased baselines keep the
+    paper's top-10% setting.  Besides the paper's six strategies, the
+    ablation variants ``cv`` (σ/μ) and ``pwu-rank`` (rank-weighted σ) are
+    constructible here; they are not part of :data:`STRATEGY_NAMES`.
+    """
+    if name == "random":
+        return UniformRandomSampling()
+    if name == "brs":
+        return BiasedRandomSampling(top_fraction=0.10)
+    if name == "bestperf":
+        return BestPerfSampling()
+    if name == "maxu":
+        return MaxUncertaintySampling()
+    if name == "pbus":
+        return PBUSampling(candidate_fraction=0.10)
+    if name == "pwu":
+        return PWUSampling(alpha=alpha)
+    if name == "cv":
+        from repro.sampling.variants import CoefficientOfVariationSampling
+
+        return CoefficientOfVariationSampling()
+    if name == "pwu-rank":
+        from repro.sampling.variants import RankWeightedUncertaintySampling
+
+        return RankWeightedUncertaintySampling()
+    if name == "ei":
+        from repro.sampling.ei import ExpectedImprovementSampling
+
+        return ExpectedImprovementSampling()
+    if name == "pwu-cost":
+        from repro.sampling.variants import CostAwarePWUSampling
+
+        return CostAwarePWUSampling(alpha=alpha)
+    raise KeyError(
+        f"unknown strategy {name!r}; known: {', '.join(STRATEGY_NAMES)} "
+        f"(+ ablation variants: cv, pwu-rank, ei, pwu-cost)"
+    )

@@ -1,0 +1,38 @@
+"""Parameter-space definitions for tuning problems.
+
+A :class:`ParameterSpace` is an ordered collection of named parameters
+(integer ranges, ordinal value lists, categoricals, booleans).  Spaces know
+how to
+
+* report their cardinality (SPAPT spaces reach :math:`10^{10}`–:math:`10^{30}`),
+* draw uniform random configurations,
+* encode configurations into a dense ``float64`` feature matrix for the
+  random-forest surrogate and decode them back.
+
+The :class:`DataPool` wraps the encoded representative sample of a space
+(7000 configurations in the paper) and tracks which entries are still
+available to the active learner.
+"""
+
+from repro.space.parameters import (
+    BooleanParameter,
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    Parameter,
+)
+from repro.space.constraints import Constraint
+from repro.space.space import Configuration, ParameterSpace
+from repro.space.pool import DataPool
+
+__all__ = [
+    "Parameter",
+    "IntegerParameter",
+    "OrdinalParameter",
+    "CategoricalParameter",
+    "BooleanParameter",
+    "Constraint",
+    "ParameterSpace",
+    "Configuration",
+    "DataPool",
+]

@@ -1,0 +1,46 @@
+"""Constraints over parameter spaces.
+
+Real SPAPT search problems are *constrained*: Orio rejects transformation
+combinations that are illegal or pointless (register tiles exceeding the
+cache tile, unroll products blowing past the register file, ...).  A
+:class:`Constraint` is a named, vectorised predicate over encoded
+configuration matrices; a constrained :class:`~repro.space.ParameterSpace`
+samples by rejection and filters its grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Constraint"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named validity predicate over encoded configurations.
+
+    ``predicate`` receives an ``(n, d)`` float matrix and must return a
+    boolean vector of length ``n`` (True = admissible).  Predicates must
+    be deterministic and row-wise independent.
+    """
+
+    name: str
+    predicate: Callable[[np.ndarray], np.ndarray]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("constraint needs a non-empty name")
+
+    def holds(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the predicate with shape checking."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        mask = np.asarray(self.predicate(X))
+        if mask.dtype != bool or mask.shape != (len(X),):
+            raise RuntimeError(
+                f"constraint {self.name!r} returned {mask.dtype} of shape "
+                f"{mask.shape}; expected bool of shape ({len(X)},)"
+            )
+        return mask

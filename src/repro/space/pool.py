@@ -1,0 +1,95 @@
+"""The unlabeled data pool of Algorithm 1.
+
+The paper represents the (enormous) parameter space by a pool of 7000
+uniformly sampled configurations; the active learner repeatedly removes
+selected entries.  :class:`DataPool` stores the encoded matrix once and
+tracks availability with an index set, so "remove" is O(batch) and no matrix
+copies are made during the learning loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DataPool"]
+
+
+class DataPool:
+    """An encoded configuration pool with removal bookkeeping.
+
+    Indices handed out by :meth:`available_indices` (and accepted by
+    :meth:`take`) are *global* row indices into :attr:`X`; they stay valid for
+    the lifetime of the pool even as entries are removed.
+    """
+
+    def __init__(self, X: np.ndarray) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"pool matrix must be 2-D, got shape {X.shape}")
+        if len(X) == 0:
+            raise ValueError("pool must contain at least one configuration")
+        self._X = X
+        self._X.setflags(write=False)
+        self._available = np.ones(len(X), dtype=bool)
+
+    # -- views -----------------------------------------------------------
+    @property
+    def X(self) -> np.ndarray:
+        """The full (immutable) encoded matrix, including removed rows."""
+        return self._X
+
+    @property
+    def n_total(self) -> int:
+        return len(self._X)
+
+    @property
+    def n_available(self) -> int:
+        return int(self._available.sum())
+
+    def available_indices(self) -> np.ndarray:
+        """Global row indices still available, ascending."""
+        return np.flatnonzero(self._available)
+
+    def available_X(self) -> np.ndarray:
+        """Encoded rows still available (a copy-on-slice view)."""
+        return self._X[self._available]
+
+    def is_available(self, index: int) -> bool:
+        """Whether global row ``index`` is still in the pool."""
+        return bool(self._available[index])
+
+    # -- mutation ----------------------------------------------------------
+    def take(self, indices: "Sequence[int] | np.ndarray") -> np.ndarray:
+        """Remove ``indices`` from the pool and return their encoded rows.
+
+        Raises if any index is out of range, duplicated, or already taken —
+        a strategy that re-selects an evaluated configuration is a bug the
+        paper's framing explicitly rules out (samples are removed from the
+        pool at line 8 of Algorithm 1).
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.ndim != 1:
+            raise ValueError("take() expects a 1-D index sequence")
+        if len(idx) == 0:
+            return self._X[:0]
+        if idx.min() < 0 or idx.max() >= self.n_total:
+            raise IndexError(f"pool index out of range [0, {self.n_total})")
+        if len(np.unique(idx)) != len(idx):
+            raise ValueError("duplicate indices in a single take()")
+        if not self._available[idx].all():
+            taken = idx[~self._available[idx]]
+            raise ValueError(f"indices already taken from pool: {taken.tolist()}")
+        self._available[idx] = False
+        return self._X[idx]
+
+    def reset(self) -> None:
+        """Make every row available again (used between repeated trials)."""
+        self._available[:] = True
+
+    def __len__(self) -> int:
+        return self.n_available
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataPool({self.n_available}/{self.n_total} available)"

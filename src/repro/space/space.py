@@ -1,0 +1,287 @@
+"""Parameter spaces: ordered collections of parameters with encoding.
+
+The space is the interface between *benchmark definitions* (which speak in
+named parameter values) and the *surrogate model / sampling machinery* (which
+speak in dense float matrices).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.space.constraints import Constraint
+from repro.space.parameters import Parameter
+
+__all__ = ["ParameterSpace", "Configuration"]
+
+#: A configuration is a mapping from parameter name to an admissible value.
+Configuration = dict
+
+
+class ParameterSpace:
+    """An ordered, named collection of :class:`Parameter` objects.
+
+    Parameters keep their insertion order; that order defines the feature
+    columns of the encoded matrix.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        constraints: Sequence[Constraint] = (),
+    ) -> None:
+        if len(parameters) == 0:
+            raise ValueError("a parameter space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate parameter names: {dupes}")
+        self._params: tuple[Parameter, ...] = tuple(parameters)
+        self._by_name: dict[str, Parameter] = {p.name: p for p in self._params}
+        self.constraints: tuple[Constraint, ...] = tuple(constraints)
+
+    # -- basic introspection --------------------------------------------
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        return self._params
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self._params)
+
+    @property
+    def n_parameters(self) -> int:
+        return len(self._params)
+
+    @property
+    def categorical_mask(self) -> np.ndarray:
+        """Boolean vector marking categorical feature columns."""
+        return np.asarray([p.is_categorical for p in self._params], dtype=bool)
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no parameter named {name!r} in this space") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._params)
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def size(self) -> int:
+        """Cardinality of the full cartesian space (exact big integer)."""
+        return math.prod(p.n_values for p in self._params)
+
+    def log10_size(self) -> float:
+        """``log10`` of the cardinality — SPAPT sizes span 1e10..1e30."""
+        return float(sum(math.log10(p.n_values) for p in self._params))
+
+    # -- encoding --------------------------------------------------------
+    def encode(self, configs: "Configuration | Sequence[Mapping[str, Any]]") -> np.ndarray:
+        """Encode one configuration (dict) or a sequence of them.
+
+        Returns a ``(n, d)`` float64 matrix (``(1, d)`` for a single dict).
+        """
+        if isinstance(configs, Mapping):
+            configs = [configs]
+        rows = np.empty((len(configs), self.n_parameters), dtype=np.float64)
+        for i, cfg in enumerate(configs):
+            missing = set(self.names) - set(cfg)
+            if missing:
+                raise ValueError(f"configuration missing parameters: {sorted(missing)}")
+            extra = set(cfg) - set(self.names)
+            if extra:
+                raise ValueError(f"configuration has unknown parameters: {sorted(extra)}")
+            for j, p in enumerate(self._params):
+                rows[i, j] = p.encode(cfg[p.name])
+        return rows
+
+    def decode(self, X: np.ndarray) -> list[Configuration]:
+        """Decode an encoded matrix back into configuration dicts."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_parameters:
+            raise ValueError(
+                f"expected {self.n_parameters} feature columns, got {X.shape[1]}"
+            )
+        return [
+            {p.name: p.decode(row[j]) for j, p in enumerate(self._params)}
+            for row in X
+        ]
+
+    def decode_one(self, x: np.ndarray) -> Configuration:
+        """Decode a single encoded row."""
+        return self.decode(np.atleast_2d(x))[0]
+
+    # -- constraints ---------------------------------------------------------
+    @property
+    def is_constrained(self) -> bool:
+        return len(self.constraints) > 0
+
+    def satisfies(self, X: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows satisfying every constraint."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        mask = np.ones(len(X), dtype=bool)
+        for c in self.constraints:
+            mask &= c.holds(X)
+        return mask
+
+    def feasible_fraction(self, rng: np.random.Generator, n_probe: int = 2000) -> float:
+        """Monte-Carlo estimate of the admissible fraction of the space."""
+        if not self.is_constrained:
+            return 1.0
+        X = self._raw_sample_encoded(rng, n_probe)
+        return float(self.satisfies(X).mean())
+
+    # -- sampling ----------------------------------------------------------
+    def _raw_sample_encoded(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        X = np.empty((n, self.n_parameters), dtype=np.float64)
+        for j, p in enumerate(self._params):
+            X[:, j] = p.sample_codes(rng, n)
+        return X
+
+    def sample_encoded(
+        self, rng: np.random.Generator, n: int, max_tries: int = 64
+    ) -> np.ndarray:
+        """Draw ``n`` uniform admissible configurations in encoded form.
+
+        With constraints, sampling is uniform-by-rejection over the
+        admissible subset; spaces whose admissible fraction is vanishing
+        raise rather than loop forever.
+        """
+        if n < 0:
+            raise ValueError(f"cannot sample a negative count: {n}")
+        if not self.is_constrained:
+            return self._raw_sample_encoded(rng, n)
+        rows = []
+        have = 0
+        for _ in range(max_tries):
+            if have >= n:
+                break
+            batch = self._raw_sample_encoded(rng, max(n - have, 32) * 2)
+            ok = batch[self.satisfies(batch)]
+            rows.append(ok)
+            have += len(ok)
+        if have < n:
+            raise RuntimeError(
+                f"could not draw {n} admissible configurations after "
+                f"{max_tries} rejection rounds; the constraints may be "
+                f"near-infeasible"
+            )
+        return np.vstack(rows)[:n]
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[Configuration]:
+        """Draw ``n`` uniform configurations as dicts."""
+        return self.decode(self.sample_encoded(rng, n))
+
+    def sample_lhs_encoded(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Latin-hypercube sample of ``n`` configurations (encoded form).
+
+        LHS stratifies every parameter axis, giving better one-dimensional
+        coverage than iid uniform draws for the same pool size — an
+        alternative pool-construction policy (the paper uses iid uniform).
+        Not supported on constrained spaces: filtering would destroy the
+        stratification that is LHS's point.
+        """
+        if n < 0:
+            raise ValueError(f"cannot sample a negative count: {n}")
+        if self.is_constrained:
+            raise ValueError(
+                "Latin-hypercube sampling is not supported on constrained "
+                "spaces; use sample_encoded (rejection) instead"
+            )
+        from scipy.stats import qmc
+
+        sampler = qmc.LatinHypercube(d=self.n_parameters, rng=rng)
+        U = sampler.random(n)  # (n, d) in [0, 1)
+        X = np.empty((n, self.n_parameters), dtype=np.float64)
+        for j, p in enumerate(self._params):
+            idx = np.minimum((U[:, j] * p.n_values).astype(np.intp), p.n_values - 1)
+            X[:, j] = p._codes_table()[idx]
+        return X
+
+    def sample_unique_encoded(
+        self, rng: np.random.Generator, n: int, max_tries: int = 64
+    ) -> np.ndarray:
+        """Draw ``n`` *distinct* configurations in encoded form.
+
+        For huge SPAPT spaces collisions are vanishingly rare and this is a
+        single vectorised draw; for small spaces (hypre has only a few
+        thousand points) it falls back to enumerating and permuting the grid.
+        """
+        total = self.size()
+        if n > total:
+            raise ValueError(f"requested {n} unique configs but the space has {total}")
+        # Small space: enumerate exactly (the grid is constraint-filtered).
+        if total <= max(4 * n, 100_000) and total <= 1_000_000:
+            grid = self.grid_encoded()
+            if n > len(grid):
+                raise ValueError(
+                    f"requested {n} unique configs but only {len(grid)} are admissible"
+                )
+            pick = rng.permutation(len(grid))[:n]
+            return grid[pick]
+        seen: set[bytes] = set()
+        out = np.empty((n, self.n_parameters), dtype=np.float64)
+        filled = 0
+        for _ in range(max_tries):
+            need = n - filled
+            if need == 0:
+                break
+            batch = self.sample_encoded(rng, need + max(8, need // 4))
+            for row in batch:
+                key = row.tobytes()
+                if key in seen:
+                    continue
+                seen.add(key)
+                out[filled] = row
+                filled += 1
+                if filled == n:
+                    break
+        if filled < n:
+            raise RuntimeError(
+                f"could not draw {n} unique configurations after {max_tries} rounds"
+            )
+        return out
+
+    def grid_encoded(self) -> np.ndarray:
+        """Enumerate the *admissible* space in encoded form (small spaces only)."""
+        total = self.size()
+        if total > 2_000_000:
+            raise ValueError(
+                f"space of size {total} is too large to enumerate; sample instead"
+            )
+        axes = [p._codes_table() for p in self._params]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        grid = np.stack([m.reshape(-1) for m in mesh], axis=1)
+        if self.is_constrained:
+            grid = grid[self.satisfies(grid)]
+        return grid
+
+    # -- misc ---------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable inventory used by the Table I–III printers."""
+        lines = [f"{'name':<14}{'kind':<14}{'#values':>8}  values"]
+        for p in self._params:
+            kind = type(p).__name__.replace("Parameter", "").lower()
+            vals = ", ".join(map(str, p.values[:8]))
+            if p.n_values > 8:
+                vals += ", ..."
+            lines.append(f"{p.name:<14}{kind:<14}{p.n_values:>8}  {vals}")
+        lines.append(f"total configurations: {self.size():,} (1e{self.log10_size():.1f})")
+        for c in self.constraints:
+            lines.append(f"constraint: {c.name}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParameterSpace({self.n_parameters} params, "
+            f"|space|=1e{self.log10_size():.1f})"
+        )

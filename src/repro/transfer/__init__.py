@@ -1,0 +1,32 @@
+"""Model portability across kernels and platforms (the paper's future work).
+
+Section VI: *"In future works, we can investigate the relation of different
+kernels and the portability of performance models to avoid building models
+from scratch when encountering new kernels or platforms."*
+
+This subpackage implements that investigation:
+
+* :func:`surface_correlation` — how related are two benchmarks' response
+  surfaces over a shared parameter space (e.g. the same kernel on
+  Platform A vs Platform B)?
+* :func:`transfer_cold_start` — seed a new active-learning run from a
+  *source* model's beliefs instead of a blind random draw: half the
+  initial budget goes to the source's predicted-fast configurations,
+  half stays random for coverage.
+* :func:`run_transfer_experiment` — the end-to-end comparison: cold
+  starting from a related model vs from scratch, on a target benchmark.
+"""
+
+from repro.transfer.portability import (
+    TransferResult,
+    run_transfer_experiment,
+    surface_correlation,
+    transfer_cold_start,
+)
+
+__all__ = [
+    "surface_correlation",
+    "transfer_cold_start",
+    "run_transfer_experiment",
+    "TransferResult",
+]

@@ -1,0 +1,5 @@
+"""Model-based performance tuning (the paper's Fig. 8 case study)."""
+
+from repro.tuning.tuner import TuningResult, model_based_tuning, surrogate_annotator
+
+__all__ = ["TuningResult", "model_based_tuning", "surrogate_annotator"]

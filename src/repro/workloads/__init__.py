@@ -1,0 +1,14 @@
+"""Common benchmark interface and registry.
+
+A *workload* (the paper says "search problem") couples a parameter space
+with a way to measure the execution time of any configuration.  Both the 12
+SPAPT kernels (:mod:`repro.kernels`) and the two parallel applications
+(:mod:`repro.apps`) implement :class:`Benchmark`; the active-learning
+machinery only ever sees this interface, exactly as the method only sees
+``Evaluate`` in Algorithm 1.
+"""
+
+from repro.workloads.base import Benchmark
+from repro.workloads.registry import all_benchmarks, get_benchmark, register_benchmark
+
+__all__ = ["Benchmark", "all_benchmarks", "get_benchmark", "register_benchmark"]

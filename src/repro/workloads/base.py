@@ -1,0 +1,83 @@
+"""The benchmark interface the active learner evaluates against."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+
+from repro.noise import MeasurementProtocol
+from repro.rng import as_generator
+from repro.space import ParameterSpace
+
+__all__ = ["Benchmark"]
+
+
+class Benchmark(ABC):
+    """A tuning search problem: a parameter space plus a timing oracle.
+
+    Subclasses implement :meth:`true_times_encoded`, the deterministic
+    noise-free response surface over encoded configurations.  Measurement
+    (what ``Evaluate`` in Algorithm 1 does) adds system noise and averages
+    repeats per the benchmark's :class:`MeasurementProtocol`.
+    """
+
+    #: Short identifier, e.g. ``"atax"`` or ``"kripke"``.
+    name: str
+
+    def __init__(self, space: ParameterSpace, protocol: MeasurementProtocol) -> None:
+        self._space = space
+        self._protocol = protocol
+
+    # -- interface ---------------------------------------------------------
+    @property
+    def space(self) -> ParameterSpace:
+        return self._space
+
+    @property
+    def protocol(self) -> MeasurementProtocol:
+        return self._protocol
+
+    @abstractmethod
+    def true_times_encoded(self, X: np.ndarray) -> np.ndarray:
+        """Noise-free execution time (seconds) for each encoded row of ``X``.
+
+        Must be deterministic and vectorised: shape ``(n, d)`` in,
+        shape ``(n,)`` out, all entries positive and finite.
+        """
+
+    # -- measurement -----------------------------------------------------------
+    def measure_encoded(self, X: np.ndarray, rng=None) -> np.ndarray:
+        """Observed (noisy, repeat-averaged) times for encoded configurations.
+
+        This is the ``Evaluate`` step of Algorithm 1; its output is what the
+        surrogate model trains on.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        t = self.true_times_encoded(X)
+        t = np.asarray(t, dtype=np.float64)
+        if t.shape != (len(X),):
+            raise RuntimeError(
+                f"{self.name}: true_times_encoded returned shape {t.shape} "
+                f"for {len(X)} configurations"
+            )
+        if not np.isfinite(t).all() or np.any(t <= 0):
+            raise RuntimeError(f"{self.name}: non-positive or non-finite true times")
+        return self._protocol.observe(t, as_generator(rng))
+
+    def measure(self, config: Mapping, rng=None) -> float:
+        """Measure a single configuration given as a dict."""
+        X = self._space.encode(dict(config))
+        return float(self.measure_encoded(X, rng)[0])
+
+    def true_time(self, config: Mapping) -> float:
+        """Noise-free time of a single configuration dict."""
+        X = self._space.encode(dict(config))
+        return float(self.true_times_encoded(X)[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"{self._space.n_parameters} params, |space|=1e{self._space.log10_size():.1f})"
+        )

@@ -1,0 +1,56 @@
+"""Global benchmark registry.
+
+The experiment drivers look benchmarks up by name ("atax", "kripke", ...);
+the kernel and application modules register factories at import time.
+Factories (rather than instances) keep registry imports cheap and let each
+experiment own a fresh benchmark object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Benchmark
+
+__all__ = ["register_benchmark", "get_benchmark", "all_benchmarks"]
+
+_REGISTRY: dict[str, Callable[[], Benchmark]] = {}
+
+
+def register_benchmark(name: str, factory: Callable[[], Benchmark]) -> None:
+    """Register ``factory`` under ``name``; re-registration is an error."""
+    if name in _REGISTRY:
+        raise ValueError(f"benchmark {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Instantiate the benchmark registered under ``name``."""
+    _ensure_loaded()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    return factory()
+
+
+def all_benchmarks() -> tuple[str, ...]:
+    """Names of all registered benchmarks (kernels first, then apps).
+
+    The order is canonical — independent of which registering module
+    happened to be imported first.
+    """
+    _ensure_loaded()
+    from repro.kernels import SPAPT_KERNEL_NAMES
+
+    canonical = [n for n in SPAPT_KERNEL_NAMES if n in _REGISTRY]
+    canonical += [n for n in ("kripke", "hypre") if n in _REGISTRY]
+    canonical += [n for n in _REGISTRY if n not in canonical]
+    return tuple(canonical)
+
+
+def _ensure_loaded() -> None:
+    # Import for the side effect of registration; deferred to avoid cycles.
+    import repro.kernels  # noqa: F401
+    import repro.apps  # noqa: F401

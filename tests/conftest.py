@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.space import (
+    BooleanParameter,
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    ParameterSpace,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mixed_space() -> ParameterSpace:
+    """A small space exercising every parameter kind."""
+    return ParameterSpace(
+        [
+            OrdinalParameter("tile", [1, 16, 32, 64, 128, 256, 512]),
+            IntegerParameter("unroll", 1, 31),
+            CategoricalParameter("layout", ["DGZ", "DZG", "GDZ"]),
+            BooleanParameter("vec"),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_scale() -> ExperimentScale:
+    """An experiment scale small enough for unit tests (< 1 s per run)."""
+    return ExperimentScale(
+        name="tiny",
+        pool_size=150,
+        test_size=120,
+        n_init=8,
+        n_batch=1,
+        n_max=20,
+        n_trials=1,
+        eval_every=4,
+        n_estimators=8,
+    )
+
+
+@pytest.fixture
+def regression_data(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A smooth nonlinear regression problem with mild noise."""
+    X = rng.random((300, 5))
+    y = (
+        3.0 * X[:, 0]
+        + np.sin(6.0 * X[:, 1])
+        + 2.0 * (X[:, 2] > 0.5)
+        + rng.normal(0.0, 0.05, 300)
+    )
+    return X, y

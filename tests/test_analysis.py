@@ -1,0 +1,100 @@
+"""Tests for the trace-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.aggregate import AveragedTrace
+from repro.experiments.analysis import (
+    area_under_curve,
+    crossover_sample,
+    final_ranking,
+    win_matrix,
+)
+
+
+def _trace(name, rmse, n_train=None):
+    rmse = np.asarray(rmse, dtype=float)
+    n = np.asarray(n_train if n_train is not None else 10 * (1 + np.arange(len(rmse))))
+    return AveragedTrace(
+        strategy=name,
+        n_train=n,
+        cc_mean=np.cumsum(np.ones(len(rmse))),
+        cc_std=np.zeros(len(rmse)),
+        rmse_mean={"0.05": rmse},
+        rmse_std={"0.05": np.zeros(len(rmse))},
+        n_trials=1,
+    )
+
+
+class TestFinalRanking:
+    def test_orders_by_final_value(self):
+        traces = {
+            "a": _trace("a", [0.5, 0.3]),
+            "b": _trace("b", [0.5, 0.1]),
+            "c": _trace("c", [0.5, 0.2]),
+        }
+        ranked = final_ranking(traces, "0.05")
+        assert [r[0] for r in ranked] == ["b", "c", "a"]
+
+
+class TestCrossover:
+    def test_detects_permanent_overtake(self):
+        a = _trace("a", [0.9, 0.5, 0.2, 0.1])
+        b = _trace("b", [0.5, 0.4, 0.3, 0.3])
+        assert crossover_sample(a, b, "0.05") == 30
+
+    def test_none_when_never_overtakes(self):
+        a = _trace("a", [0.9, 0.8])
+        b = _trace("b", [0.1, 0.1])
+        assert crossover_sample(a, b, "0.05") is None
+
+    def test_immediate_dominance(self):
+        a = _trace("a", [0.1, 0.1])
+        b = _trace("b", [0.5, 0.5])
+        assert crossover_sample(a, b, "0.05") == 10
+
+    def test_grid_mismatch_rejected(self):
+        a = _trace("a", [0.1, 0.1], n_train=[10, 20])
+        b = _trace("b", [0.5, 0.5], n_train=[10, 30])
+        with pytest.raises(ValueError, match="grids"):
+            crossover_sample(a, b, "0.05")
+
+
+class TestAUC:
+    def test_constant_curve(self):
+        t = _trace("a", [0.4, 0.4, 0.4])
+        assert area_under_curve(t, "0.05") == pytest.approx(0.4)
+
+    def test_lower_curve_has_lower_auc(self):
+        hi = _trace("a", [0.9, 0.9, 0.9])
+        lo = _trace("b", [0.2, 0.2, 0.2])
+        assert area_under_curve(lo, "0.05") < area_under_curve(hi, "0.05")
+
+    def test_early_convergence_rewarded(self):
+        early = _trace("a", [0.9, 0.1, 0.1, 0.1])
+        late = _trace("b", [0.9, 0.9, 0.9, 0.1])
+        assert area_under_curve(early, "0.05") < area_under_curve(late, "0.05")
+
+    def test_single_point(self):
+        assert area_under_curve(_trace("a", [0.7]), "0.05") == 0.7
+
+
+class TestWinMatrix:
+    def _suite(self):
+        return {
+            "k1": {"pwu": _trace("pwu", [0.5, 0.1]), "pbus": _trace("pbus", [0.5, 0.2])},
+            "k2": {"pwu": _trace("pwu", [0.5, 0.3]), "pbus": _trace("pbus", [0.5, 0.2])},
+            "k3": {"pwu": _trace("pwu", [0.5, 0.1]), "pbus": _trace("pbus", [0.5, 0.4])},
+        }
+
+    def test_final_metric(self):
+        wins = win_matrix(self._suite(), "0.05", metric="final")
+        assert wins == {"pwu": 2, "pbus": 1}
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            win_matrix(self._suite(), "0.05", metric="median")
+
+    def test_auc_metric_runs(self):
+        wins = win_matrix(self._suite(), "0.05", metric="auc")
+        assert sum(wins.values()) == 3

@@ -1,0 +1,155 @@
+"""Tests for the kripke and hypre application models."""
+
+import numpy as np
+import pytest
+
+from repro.apps import HypreBenchmark, KripkeBenchmark
+from repro.apps.hypre import SOLVER_IDS
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def kripke() -> KripkeBenchmark:
+    return KripkeBenchmark()
+
+
+@pytest.fixture(scope="module")
+def hypre() -> HypreBenchmark:
+    return HypreBenchmark()
+
+
+class TestKripkeSpace:
+    def test_table_2_parameters(self, kripke):
+        s = kripke.space
+        assert s["layout"].values == ("DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD")
+        assert s["gset"].values == (1, 2, 4, 8, 16, 32, 64, 128)
+        assert s["dset"].values == (8, 16, 32)
+        assert s["pmethod"].values == ("sweep", "bj")
+        assert s["#process"].values == (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def test_space_size(self, kripke):
+        assert kripke.space.size() == 6 * 8 * 3 * 2 * 8
+
+
+class TestKripkeModel:
+    def _time(self, kripke, **cfg):
+        defaults = dict(layout="DGZ", gset=8, dset=8, pmethod="sweep")
+        defaults.update(cfg)
+        return kripke.true_time({"#process": defaults.pop("procs", 16), **defaults})
+
+    def test_all_configs_positive_finite(self, kripke):
+        t = kripke.true_times_encoded(kripke.space.grid_encoded())
+        assert np.isfinite(t).all() and (t > 0).all()
+
+    def test_strong_scaling_helps(self, kripke):
+        assert self._time(kripke, procs=64) < self._time(kripke, procs=1)
+
+    def test_layout_matters(self, kripke):
+        dgz = self._time(kripke, layout="DGZ")
+        zgd = self._time(kripke, layout="ZGD")
+        assert dgz != zgd
+
+    def test_zone_innermost_layout_fast(self, kripke):
+        """Z-innermost layouts vectorise over the mesh and should win."""
+        dgz = self._time(kripke, layout="DGZ", procs=1)
+        zgd = self._time(kripke, layout="ZGD", procs=1)
+        assert dgz < zgd
+
+    def test_sweep_vs_bj_crossover_exists(self, kripke):
+        """The sweep/bj trade-off depends on the rest of the configuration;
+        a tuner has something to learn only if neither dominates."""
+        grid = kripke.space.grid_encoded()
+        t = kripke.true_times_encoded(grid)
+        cfgs = kripke.space.decode(grid)
+        sweep_wins = 0
+        bj_wins = 0
+        for i, cfg in enumerate(cfgs):
+            if cfg["pmethod"] != "sweep":
+                continue
+            other = dict(cfg, pmethod="bj")
+            tb = kripke.true_time(other)
+            if t[i] < tb:
+                sweep_wins += 1
+            elif tb < t[i]:
+                bj_wins += 1
+        assert sweep_wins > 0 and bj_wins > 0
+
+    def test_oversubscribed_sets_slow_small_blocks(self, kripke):
+        # gset=128 with dset=32 makes 4096 tiny blocks: overhead territory
+        # at small process counts where pipelining cannot pay it back.
+        few_blocks = self._time(kripke, gset=4, dset=8, procs=2)
+        many_blocks = self._time(kripke, gset=128, dset=32, procs=2)
+        assert many_blocks > few_blocks
+
+    def test_single_process_methods_equal(self, kripke):
+        s = self._time(kripke, pmethod="sweep", procs=1)
+        b = self._time(kripke, pmethod="bj", procs=1)
+        assert s == pytest.approx(b)
+
+
+class TestHypreSpace:
+    def test_table_3_parameters(self, hypre):
+        s = hypre.space
+        assert s["solver"].values == SOLVER_IDS
+        assert len(SOLVER_IDS) == 25
+        assert s["coarsening"].values == ("pmis", "hmis")
+        assert s["smtype"].values == tuple(range(9))
+        assert s["#process"].values == (8, 16, 32, 64, 128, 256, 512)
+
+
+class TestHypreModel:
+    def _time(self, hypre, solver=0, coarsening="pmis", smtype=6, procs=64):
+        return hypre.true_time(
+            {"solver": solver, "coarsening": coarsening, "smtype": smtype, "#process": procs}
+        )
+
+    def test_all_configs_positive_finite(self, hypre):
+        t = hypre.true_times_encoded(hypre.space.grid_encoded())
+        assert np.isfinite(t).all() and (t > 0).all()
+
+    def test_amg_beats_bare_krylov(self, hypre):
+        """Unpreconditioned Krylov on a Laplacian converges painfully."""
+        assert self._time(hypre, solver=0) < self._time(hypre, solver=20)
+
+    def test_incompatible_pairs_hit_iteration_cap(self, hypre):
+        """CG-family solver with a non-symmetric smoother diverges (slow)."""
+        good = self._time(hypre, solver=3, smtype=6)  # symmetric smoother
+        bad = self._time(hypre, solver=3, smtype=1)  # sequential GS: not sym
+        assert bad > 5.0 * good
+
+    def test_smoother_cost_vs_strength_tradeoff(self, hypre):
+        """Strong (8) and cheap (0) smoothers must both be viable somewhere."""
+        strong = self._time(hypre, solver=0, smtype=8)
+        cheap = self._time(hypre, solver=0, smtype=0)
+        assert strong != cheap
+
+    def test_scaling_saturates(self, hypre):
+        """512 processes on 2M unknowns is comm-bound: speedup over 64
+        processes must be far below the 8x ideal."""
+        t64 = self._time(hypre, procs=64)
+        t512 = self._time(hypre, procs=512)
+        assert t512 < t64  # still some gain...
+        assert t64 / t512 < 4.0  # ...but nowhere near linear
+
+    def test_heavy_tail_from_divergent_configs(self, hypre, rng):
+        t = hypre.true_times_encoded(hypre.space.grid_encoded())
+        assert np.percentile(t, 99) / np.percentile(t, 10) > 20.0
+
+    def test_hmis_changes_setup_cost(self, hypre):
+        pmis = self._time(hypre, coarsening="pmis")
+        hmis = self._time(hypre, coarsening="hmis")
+        assert pmis != hmis
+
+
+class TestRegistry:
+    def test_apps_registered(self):
+        assert get_benchmark("kripke").name == "kripke"
+        assert get_benchmark("hypre").name == "hypre"
+
+    def test_network_required(self):
+        from repro.machine import PLATFORM_A
+
+        with pytest.raises(ValueError, match="network"):
+            KripkeBenchmark(machine=PLATFORM_A)
+        with pytest.raises(ValueError, match="network"):
+            HypreBenchmark(machine=PLATFORM_A)

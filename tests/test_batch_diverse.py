@@ -1,0 +1,103 @@
+"""Tests for diversity-aware batch selection."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor
+from repro.sampling import MaxUncertaintySampling, PWUSampling, UniformRandomSampling
+from repro.sampling.batch import DiverseBatchSampling
+from repro.space import DataPool
+
+
+@pytest.fixture
+def clustered_problem(rng):
+    """A pool with two tight clusters plus scattered points; a model whose
+    uncertainty peaks inside one cluster."""
+    cluster_a = 0.05 * rng.random((30, 2))  # near origin
+    cluster_b = np.array([0.9, 0.9]) + 0.05 * rng.random((30, 2))
+    scatter = rng.random((60, 2))
+    X = np.vstack([cluster_a, cluster_b, scatter])
+    y = 1.0 + X[:, 0] + X[:, 1]
+    model = RandomForestRegressor(n_estimators=10, seed=0).fit(X[::3], y[::3])
+    return DataPool(X), model
+
+
+class TestScoresHook:
+    def test_score_based_strategies_expose_scores(self, clustered_problem):
+        pool, model = clustered_problem
+        for strat in (PWUSampling(0.05), MaxUncertaintySampling()):
+            s = strat.scores(model, pool.X)
+            assert s.shape == (pool.n_total,)
+
+    def test_filter_based_strategy_raises(self, clustered_problem):
+        pool, model = clustered_problem
+        with pytest.raises(NotImplementedError):
+            UniformRandomSampling().scores(model, pool.X)
+
+    def test_scores_consistent_with_selection(self, clustered_problem, rng):
+        pool, model = clustered_problem
+        strat = PWUSampling(0.05)
+        picked = strat.select(model, pool, 1, rng)
+        s = strat.scores(model, pool.X)
+        assert s[picked[0]] == s.max()
+
+
+class TestDiverseBatch:
+    def test_contract(self, clustered_problem, rng):
+        pool, model = clustered_problem
+        strat = DiverseBatchSampling(PWUSampling(0.05))
+        picked = strat.select(model, pool, 8, rng)
+        assert len(np.unique(picked)) == 8
+
+    def test_single_pick_matches_base(self, clustered_problem, rng):
+        pool, model = clustered_problem
+        base = PWUSampling(0.05)
+        a = DiverseBatchSampling(base).select(model, pool, 1, rng)
+        b = base.select(model, pool, 1, rng)
+        assert a.tolist() == b.tolist()
+
+    def test_batch_spreads_wider_than_greedy(self, rng):
+        """With uncertainty concentrated in one cluster, greedy top-k piles
+        into it; the diversified batch must spread wider."""
+
+        class PeakedModel:
+            """σ peaks at the origin cluster; μ is flat."""
+
+            def predict_with_uncertainty(self, X):
+                d2 = (np.asarray(X) ** 2).sum(axis=1)
+                return np.ones(len(X)), np.exp(-20.0 * d2)
+
+        cluster = 0.05 * rng.random((40, 2))
+        scatter = rng.random((80, 2))
+        pool = DataPool(np.vstack([cluster, scatter]))
+        model = PeakedModel()
+        base = MaxUncertaintySampling()
+        greedy = base.select(model, pool, 10, rng)
+        diverse = DiverseBatchSampling(base).select(model, pool, 10, rng)
+
+        def mean_pairwise(idx):
+            P = pool.X[idx]
+            d = np.sqrt(((P[:, None, :] - P[None, :, :]) ** 2).sum(-1))
+            return d[np.triu_indices(len(P), 1)].mean()
+
+        assert mean_pairwise(diverse) > 1.5 * mean_pairwise(greedy)
+
+    def test_name_composition(self):
+        strat = DiverseBatchSampling(PWUSampling(0.05))
+        assert strat.name == "pwu+diverse"
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            DiverseBatchSampling(PWUSampling(0.05), bandwidth_factor=0.0)
+
+    def test_runs_in_algorithm_1(self, tiny_scale):
+        from repro.experiments.runner import run_strategy
+
+        trace = run_strategy(
+            "mvt",
+            DiverseBatchSampling(PWUSampling(0.05)),
+            tiny_scale,
+            seed=0,
+            config_overrides={"n_batch": 4},
+        )
+        assert trace.n_train[-1] == tiny_scale.n_max

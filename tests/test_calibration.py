@@ -1,0 +1,60 @@
+"""Tests for uncertainty-calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor
+from repro.metrics import uncertainty_calibration
+
+
+class TestCalibrationReport:
+    def test_perfectly_gaussian_residuals(self, rng):
+        n = 20_000
+        sigma = np.full(n, 2.0)
+        mu = np.zeros(n)
+        y = rng.normal(0.0, 2.0, n)
+        report = uncertainty_calibration(y, mu, sigma)
+        assert report.coverage_1sigma == pytest.approx(0.683, abs=0.02)
+        assert report.coverage_2sigma == pytest.approx(0.954, abs=0.02)
+        assert report.rms_z == pytest.approx(1.0, abs=0.03)
+        assert not report.overconfident
+        assert not report.underconfident
+
+    def test_overconfident_detected(self, rng):
+        n = 5000
+        y = rng.normal(0.0, 5.0, n)
+        report = uncertainty_calibration(y, np.zeros(n), np.full(n, 0.5))
+        assert report.overconfident
+        assert "overconfident" in report.summary()
+
+    def test_underconfident_detected(self, rng):
+        n = 5000
+        y = rng.normal(0.0, 0.2, n)
+        report = uncertainty_calibration(y, np.zeros(n), np.full(n, 10.0))
+        assert report.underconfident
+
+    def test_exact_predictions_with_zero_sigma_covered(self):
+        y = np.array([1.0, 2.0])
+        report = uncertainty_calibration(y, y.copy(), np.zeros(2))
+        assert report.coverage_1sigma == 1.0
+        assert np.isnan(report.rms_z)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            uncertainty_calibration(np.ones(3), np.ones(2), np.ones(2))
+        with pytest.raises(ValueError, match="zero"):
+            uncertainty_calibration(np.array([]), np.array([]), np.array([]))
+        with pytest.raises(ValueError, match="non-negative"):
+            uncertainty_calibration(np.ones(1), np.ones(1), -np.ones(1))
+
+
+class TestForestCalibration:
+    def test_forest_sigma_is_informative(self, regression_data):
+        """On held-out data the forest's σ must not be wildly overconfident
+        (the property every strategy in the paper depends on)."""
+        X, y = regression_data
+        rf = RandomForestRegressor(n_estimators=30, seed=0).fit(X[:200], y[:200])
+        mu, sigma = rf.predict_with_uncertainty(X[200:])
+        report = uncertainty_calibration(y[200:], mu, sigma)
+        assert report.coverage_2sigma > 0.5
+        assert report.n == 100

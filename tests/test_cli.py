@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "atax" in out and "pwu" in out and "paper" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "E5-2680" in out
+
+    def test_fig2_single_kernel_writes_json(self, capsys, tmp_path, monkeypatch):
+        # Patch the smoke scale down so the CLI test stays fast.
+        from repro.cli import SCALES
+        from repro.experiments.config import ExperimentScale
+
+        monkeypatch.setitem(
+            SCALES,
+            "smoke",
+            ExperimentScale(
+                name="smoke",
+                pool_size=150,
+                test_size=120,
+                n_init=8,
+                n_max=14,
+                n_trials=1,
+                eval_every=6,
+                n_estimators=6,
+            ),
+        )
+        code = main(
+            [
+                "fig2",
+                "--scale",
+                "smoke",
+                "--kernels",
+                "mvt",
+                "-o",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "Fig. 3" in out
+        payload = json.loads((tmp_path / "fig2.json").read_text())
+        assert "mvt" in payload["data"]
+        assert (tmp_path / "fig3.json").exists()

@@ -1,0 +1,48 @@
+"""Scalar/batch consistency across the public surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+@pytest.mark.parametrize("name", ["atax", "dgemv3", "kripke", "hypre"])
+class TestScalarBatchConsistency:
+    def test_true_time_matches_batch_evaluation(self, name, rng):
+        bench = get_benchmark(name)
+        configs = bench.space.sample(rng, 10)
+        X = bench.space.encode(configs)
+        batch = bench.true_times_encoded(X)
+        singles = [bench.true_time(c) for c in configs]
+        assert np.allclose(batch, singles)
+
+    def test_single_row_matrix_equals_vector(self, name, rng):
+        bench = get_benchmark(name)
+        X = bench.space.sample_encoded(rng, 1)
+        a = bench.true_times_encoded(X)
+        b = bench.true_times_encoded(X[0].reshape(1, -1))
+        assert np.array_equal(a, b)
+
+
+class TestEncodedOrderingInvariance:
+    def test_permuting_rows_permutes_times(self, rng):
+        bench = get_benchmark("mm")
+        X = bench.space.sample_encoded(rng, 50)
+        t = bench.true_times_encoded(X)
+        perm = rng.permutation(50)
+        assert np.allclose(bench.true_times_encoded(X[perm]), t[perm])
+
+    def test_duplicate_rows_get_equal_times(self, rng):
+        bench = get_benchmark("lu")
+        X = bench.space.sample_encoded(rng, 5)
+        X2 = np.vstack([X, X])
+        t = bench.true_times_encoded(X2)
+        assert np.allclose(t[:5], t[5:])
+
+
+class TestAllBenchmarksBasicContract:
+    def test_every_benchmark_space_nonempty(self):
+        for name in all_benchmarks():
+            bench = get_benchmark(name)
+            assert bench.space.size() > 100, name
+            assert bench.name == name

@@ -1,0 +1,118 @@
+"""Tests for constrained parameter spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import (
+    Constraint,
+    IntegerParameter,
+    OrdinalParameter,
+    ParameterSpace,
+)
+from repro.workloads import get_benchmark
+
+
+def _space(constraints=()):
+    return ParameterSpace(
+        [
+            OrdinalParameter("a", [1, 2, 4, 8]),
+            IntegerParameter("b", 1, 8),
+        ],
+        constraints=constraints,
+    )
+
+
+def _a_leq_b() -> Constraint:
+    return Constraint("a<=b", lambda X: X[:, 0] <= X[:, 1])
+
+
+class TestConstraintObject:
+    def test_holds_shape_checked(self):
+        bad = Constraint("bad", lambda X: np.zeros(3))  # wrong dtype
+        with pytest.raises(RuntimeError, match="bool"):
+            bad.holds(np.zeros((3, 2)))
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Constraint("", lambda X: np.ones(len(X), dtype=bool))
+
+
+class TestConstrainedSpace:
+    def test_unconstrained_is_trivially_satisfied(self, rng):
+        s = _space()
+        assert not s.is_constrained
+        assert s.satisfies(s.sample_encoded(rng, 20)).all()
+        assert s.feasible_fraction(rng) == 1.0
+
+    def test_samples_respect_constraints(self, rng):
+        s = _space([_a_leq_b()])
+        X = s.sample_encoded(rng, 200)
+        assert (X[:, 0] <= X[:, 1]).all()
+
+    def test_grid_is_filtered(self):
+        s = _space([_a_leq_b()])
+        grid = s.grid_encoded()
+        assert (grid[:, 0] <= grid[:, 1]).all()
+        # Exact count: for a in {1,2,4,8}, #b >= a among 1..8 = 8,7,5,1.
+        assert len(grid) == 8 + 7 + 5 + 1
+
+    def test_unique_sampling_respects_constraints(self, rng):
+        s = _space([_a_leq_b()])
+        X = s.sample_unique_encoded(rng, 15)
+        assert len({r.tobytes() for r in X}) == 15
+        assert (X[:, 0] <= X[:, 1]).all()
+
+    def test_unique_overdraw_detected(self, rng):
+        s = _space([_a_leq_b()])
+        with pytest.raises(ValueError, match="admissible"):
+            s.sample_unique_encoded(rng, 25)  # only 21 admissible
+
+    def test_feasible_fraction_estimate(self, rng):
+        s = _space([_a_leq_b()])
+        frac = s.feasible_fraction(rng, n_probe=4000)
+        assert frac == pytest.approx(21 / 32, abs=0.05)
+
+    def test_infeasible_space_raises(self, rng):
+        never = Constraint("never", lambda X: np.zeros(len(X), dtype=bool))
+        s = _space([never])
+        with pytest.raises(RuntimeError, match="infeasible"):
+            s.sample_encoded(rng, 5)
+
+
+class TestConstrainedKernels:
+    def test_trmm_constraint_active(self, rng):
+        trmm = get_benchmark("trmm")
+        assert trmm.space.is_constrained
+        X = trmm.space.sample_encoded(rng, 300)
+        names = list(trmm.space.names)
+        rt = [names.index(f"RT{i}") for i in (1, 2, 3)]
+        t1 = names.index("T1")
+        volume = X[:, rt].prod(axis=1)
+        assert ((X[:, t1] <= 1.0) | (volume <= X[:, t1])).all()
+
+    def test_tensor_unroll_product_bounded(self, rng):
+        tensor = get_benchmark("tensor")
+        X = tensor.space.sample_encoded(rng, 300)
+        u_cols = [j for j, n in enumerate(tensor.space.names) if n.startswith("U")]
+        assert (X[:, u_cols].prod(axis=1) <= 2.0**21).all()
+
+    def test_paper_kernels_unconstrained(self):
+        """The paper's 12 kernels are modelled without constraints."""
+        assert not get_benchmark("atax").space.is_constrained
+
+    def test_describe_lists_constraints(self):
+        text = get_benchmark("trmm").space.describe()
+        assert "constraint:" in text
+
+
+@given(seed=st.integers(0, 500), n=st.integers(1, 30))
+@settings(max_examples=20, deadline=None)
+def test_property_rejection_sampling_stays_uniform_over_admissible(seed, n):
+    """Every admissible cell remains reachable under rejection sampling."""
+    rng = np.random.default_rng(seed)
+    s = _space([_a_leq_b()])
+    X = s.sample_encoded(rng, n)
+    assert s.satisfies(X).all()
+    assert X.shape == (n, 2)

@@ -1,0 +1,220 @@
+"""Tests for the loop-nest cost model (the SPAPT measurement substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import ArrayRef, KernelCostModel, LoopNestSpec
+from repro.costmodel.quirks import InteractionQuirk
+from repro.costmodel.transform import effective_tile_extents, transform_effects
+from repro.machine import PLATFORM_A
+
+
+@pytest.fixture
+def simple_nest() -> LoopNestSpec:
+    return LoopNestSpec(
+        name="toy",
+        loop_extents=(1024, 1024),
+        arrays=(ArrayRef("A", (0, 1)), ArrayRef("x", (1,), weight=0.5)),
+        flops=1e8,
+        accesses=2e8,
+    )
+
+
+class TestLoopNestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one tiled loop"):
+            LoopNestSpec("t", (), (), 1.0, 1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            LoopNestSpec(
+                "t", (8,), (ArrayRef("A", (1,)),), 1.0, 1.0
+            )
+        with pytest.raises(ValueError, match="reuse_potential"):
+            LoopNestSpec("t", (8,), (ArrayRef("A", (0,)),), 1.0, 1.0, reuse_potential=2.0)
+        with pytest.raises(ValueError, match="vector_stride_dim"):
+            LoopNestSpec(
+                "t", (8,), (ArrayRef("A", (0,)),), 1.0, 1.0, vector_stride_dim=3
+            )
+
+    def test_working_set_is_product_of_tile_dims(self, simple_nest):
+        T = np.array([[32.0, 32.0]])
+        ws = simple_nest.working_set_bytes(T)
+        # A: 8B * 32 * 32 ; x: 8B * 32
+        assert ws[0] == pytest.approx(8 * 32 * 32 + 8 * 32)
+
+    def test_working_set_shape_check(self, simple_nest):
+        with pytest.raises(ValueError, match="tile matrix"):
+            simple_nest.working_set_bytes(np.ones((2, 3)))
+
+
+class TestEffectiveTiles:
+    def test_tile_one_means_untiled(self):
+        eff = effective_tile_extents(np.array([[1.0, 64.0]]), (1024, 512))
+        assert eff.tolist() == [[1024.0, 64.0]]
+
+    def test_tiles_clamp_to_extent(self):
+        eff = effective_tile_extents(np.array([[2048.0]]), (100,))
+        assert eff[0, 0] == 100.0
+
+    def test_rejects_tiles_below_one(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            effective_tile_extents(np.array([[0.5]]), (100,))
+
+
+class TestTransformEffects:
+    def _effects(self, **overrides):
+        kw = dict(
+            tile_eff=np.array([[64.0, 64.0]]),
+            unroll=np.array([[1.0]]),
+            regtile=np.array([[1.0]]),
+            scalar_replace=np.array([0.0]),
+            vectorize=np.array([0.0]),
+            loop_extents=(1024, 1024),
+            base_registers=6.0,
+            reuse_potential=0.4,
+            vector_stride_dim=0,
+        )
+        kw.update(overrides)
+        return transform_effects(**kw)
+
+    def test_unrolling_reduces_compute_factor(self):
+        base = self._effects(unroll=np.array([[1.0]]))
+        unrolled = self._effects(unroll=np.array([[8.0]]))
+        assert unrolled.compute_factor[0] < base.compute_factor[0]
+
+    def test_extreme_unroll_spills(self):
+        mild = self._effects(unroll=np.array([[4.0]]))
+        extreme = self._effects(unroll=np.array([[31.0, 31.0, 31.0]]).reshape(1, 3))
+        assert extreme.compute_factor[0] > mild.compute_factor[0]
+        assert extreme.register_pressure[0] > 16.0
+
+    def test_spill_penalty_capped(self):
+        fx = self._effects(unroll=np.full((1, 6), 31.0))
+        # compute_factor = (1+overhead) * spill * misfire / simd; spill <= 8
+        assert fx.compute_factor[0] < 8.0 * 1.5
+
+    def test_vectorization_helps_wide_tiles(self):
+        off = self._effects(vectorize=np.array([0.0]))
+        on = self._effects(vectorize=np.array([1.0]))
+        assert on.compute_factor[0] < off.compute_factor[0]
+
+    def test_vectorization_misfires_on_narrow_innermost(self):
+        off = self._effects(
+            tile_eff=np.array([[4.0, 64.0]]), vectorize=np.array([0.0])
+        )
+        on = self._effects(
+            tile_eff=np.array([[4.0, 64.0]]), vectorize=np.array([1.0])
+        )
+        assert on.compute_factor[0] > off.compute_factor[0]
+
+    def test_scalar_replacement_cuts_accesses(self):
+        off = self._effects(scalar_replace=np.array([0.0]))
+        on = self._effects(scalar_replace=np.array([1.0]))
+        assert on.access_factor[0] < off.access_factor[0]
+
+    def test_register_tiling_cuts_accesses(self):
+        off = self._effects(regtile=np.array([[1.0]]))
+        on = self._effects(regtile=np.array([[8.0]]))
+        assert on.access_factor[0] < off.access_factor[0]
+
+    def test_access_factor_floor(self):
+        fx = self._effects(
+            regtile=np.array([[32.0, 32.0]]).reshape(1, 2),
+            scalar_replace=np.array([1.0]),
+        )
+        assert fx.access_factor[0] >= 1.0 - 0.4 - 1e-12
+
+    def test_nest_groups_sum_not_product(self):
+        grouped = self._effects(nest_groups=((0,), (1,)))
+        fused = self._effects(nest_groups=((0, 1),))
+        assert grouped.startup_cycles[0] < fused.startup_cycles[0]
+
+    def test_rejects_unroll_below_one(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            self._effects(unroll=np.array([[0.5]]))
+
+
+class TestInteractionQuirk:
+    def _quirk(self, key="k", amp=0.2):
+        return InteractionQuirk(
+            key=key,
+            n_features=5,
+            feature_low=np.zeros(5),
+            feature_high=np.ones(5),
+            amplitude=amp,
+        )
+
+    def test_bounded(self, rng):
+        q = self._quirk()
+        f = q.factor(rng.random((500, 5)))
+        assert (f >= 0.8 - 1e-9).all() and (f <= 1.2 + 1e-9).all()
+
+    def test_deterministic_per_key(self, rng):
+        X = rng.random((50, 5))
+        assert np.array_equal(self._quirk("a").factor(X), self._quirk("a").factor(X))
+
+    def test_different_keys_differ(self, rng):
+        X = rng.random((50, 5))
+        assert not np.array_equal(
+            self._quirk("atax").factor(X), self._quirk("mm").factor(X)
+        )
+
+    def test_zero_amplitude_is_identity(self, rng):
+        q = self._quirk(amp=0.0)
+        assert np.allclose(q.factor(rng.random((20, 5))), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two features"):
+            InteractionQuirk("k", 1, np.zeros(1), np.ones(1))
+        with pytest.raises(ValueError, match="amplitude"):
+            self._quirk(amp=1.5)
+
+
+class TestKernelCostModel:
+    @pytest.fixture
+    def model(self, simple_nest) -> KernelCostModel:
+        return KernelCostModel(
+            nest=simple_nest, machine=PLATFORM_A, n_tile=2, n_unroll=1, n_regtile=1
+        )
+
+    def _X(self, tile1, tile2, unroll, regtile, sr, vec):
+        return np.array([[tile1, tile2, unroll, regtile, sr, vec]], dtype=float)
+
+    def test_times_positive_finite(self, model, rng):
+        X = np.column_stack(
+            [
+                rng.choice([1, 16, 64, 512], 100),
+                rng.choice([1, 16, 64, 512], 100),
+                rng.integers(1, 32, 100),
+                rng.choice([1, 8, 32], 100),
+                rng.integers(0, 2, 100),
+                rng.integers(0, 2, 100),
+            ]
+        ).astype(float)
+        t = model.true_times(X)
+        assert np.isfinite(t).all() and (t > 0).all()
+
+    def test_deterministic(self, model):
+        X = self._X(64, 64, 4, 8, 1, 1)
+        assert model.true_times(X)[0] == model.true_times(X)[0]
+
+    def test_cache_blocking_beats_untiled(self, model):
+        # 32x32 tiles keep the working set in L1; untiled streams from memory.
+        fast = model.true_times(self._X(32, 32, 1, 1, 0, 0))[0]
+        slow = model.true_times(self._X(1, 1, 1, 1, 0, 0))[0]
+        assert fast < slow
+
+    def test_column_count_checked(self, model):
+        with pytest.raises(ValueError, match="columns"):
+            model.true_times(np.ones((1, 3)))
+
+    def test_parameter_count_consistency(self, simple_nest):
+        with pytest.raises(ValueError, match="tile parameters"):
+            KernelCostModel(
+                nest=simple_nest, machine=PLATFORM_A, n_tile=3, n_unroll=1, n_regtile=0
+            )
+
+    def test_time_scale_multiplies(self, simple_nest):
+        m1 = KernelCostModel(simple_nest, PLATFORM_A, 2, 1, 1, time_scale=1.0)
+        m2 = KernelCostModel(simple_nest, PLATFORM_A, 2, 1, 1, time_scale=2.0)
+        X = self._X(64, 64, 2, 8, 0, 1)
+        assert m2.true_times(X)[0] == pytest.approx(2.0 * m1.true_times(X)[0])

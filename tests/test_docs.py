@@ -1,0 +1,50 @@
+"""Documentation is a deliverable: every public item must carry a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} is missing a module docstring"
+    assert len(module.__doc__.strip()) > 20, f"{module_name}: docstring too thin"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_api_documented(module_name):
+    """Everything exported via __all__ is documented."""
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert inspect.getdoc(obj), f"{module_name}.{name} lacks a docstring"
+
+
+def test_public_classes_document_methods():
+    """Public methods of the core classes are documented."""
+    from repro.active import ActiveLearner
+    from repro.forest import RandomForestRegressor, RegressionTree
+    from repro.space import DataPool, ParameterSpace
+
+    for cls in (RandomForestRegressor, RegressionTree, ParameterSpace, DataPool, ActiveLearner):
+        for name, member in inspect.getmembers(cls, inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name

@@ -1,0 +1,39 @@
+"""The examples must actually run — they are part of the public contract."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "RMSE@5%" in result.stdout
+        assert "labeled samples" in result.stdout
+
+    def test_custom_benchmark(self):
+        result = _run("custom_benchmark.py")
+        assert result.returncode == 0, result.stderr
+        assert "pwu" in result.stdout
+        assert "random" in result.stdout
+
+    def test_tune_application(self):
+        result = _run("tune_application.py")
+        assert result.returncode == 0, result.stderr
+        assert "best configuration found" in result.stdout
+        assert "#process" in result.stdout

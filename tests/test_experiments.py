@@ -1,0 +1,137 @@
+"""Tests for the experiment configuration, aggregation and runner."""
+
+import numpy as np
+import pytest
+
+from repro.active import IterationRecord, LearningHistory
+from repro.experiments import (
+    SCALES,
+    ExperimentScale,
+    average_histories,
+    prepare_data,
+    run_comparison,
+    run_strategy,
+)
+from repro.experiments.config import scale_from_env
+from repro.workloads import get_benchmark
+
+
+class TestScales:
+    def test_paper_scale_matches_protocol(self):
+        s = SCALES["paper"]
+        assert (s.pool_size, s.test_size) == (7000, 3000)
+        assert (s.n_init, s.n_batch, s.n_max) == (10, 1, 500)
+        assert s.n_trials == 10
+
+    def test_all_scales_valid(self):
+        for s in SCALES.values():
+            assert s.pool_size >= s.n_max
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", pool_size=10, n_max=50)
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", test_size=10)
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert scale_from_env().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(KeyError):
+            scale_from_env()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale_from_env().name == "quick"
+
+
+class TestPrepareData:
+    def test_sizes_and_disjointness(self, tiny_scale):
+        bench = get_benchmark("mvt")
+        pool, X_test, y_test = prepare_data(bench, tiny_scale, seed=0)
+        assert pool.n_total == tiny_scale.pool_size
+        assert len(X_test) == len(y_test) == tiny_scale.test_size
+        pool_rows = {row.tobytes() for row in pool.X}
+        test_rows = {row.tobytes() for row in X_test}
+        assert pool_rows.isdisjoint(test_rows)
+
+    def test_small_space_shrinks_proportionally(self, tiny_scale):
+        bench = get_benchmark("kripke")  # space of 2304 > 270 requested: fine
+        pool, X_test, _ = prepare_data(bench, tiny_scale, seed=0)
+        assert pool.n_total == tiny_scale.pool_size
+
+        big = ExperimentScale(
+            name="big", pool_size=7000, test_size=3000, n_max=500
+        )
+        pool2, X_test2, _ = prepare_data(bench, big, seed=0)
+        total = bench.space.size()
+        assert pool2.n_total + len(X_test2) == total
+        assert pool2.n_total == int(total * 0.7)
+
+    def test_deterministic_given_seed(self, tiny_scale):
+        bench = get_benchmark("mvt")
+        p1, Xt1, yt1 = prepare_data(bench, tiny_scale, seed=5)
+        p2, Xt2, yt2 = prepare_data(bench, tiny_scale, seed=5)
+        assert np.array_equal(p1.X, p2.X)
+        assert np.array_equal(yt1, yt2)
+
+    def test_labels_are_positive(self, tiny_scale):
+        bench = get_benchmark("mvt")
+        _, _, y_test = prepare_data(bench, tiny_scale, seed=1)
+        assert (y_test > 0).all()
+
+
+class TestAverageHistories:
+    def _history(self, values):
+        h = LearningHistory()
+        for i, v in enumerate(values):
+            h.append(IterationRecord(10 + i, float(i), {"0.05": v}))
+        return h
+
+    def test_mean_and_std(self):
+        tr = average_histories("pwu", [self._history([1.0, 2.0]), self._history([3.0, 4.0])])
+        assert tr.rmse_mean["0.05"].tolist() == [2.0, 3.0]
+        assert tr.rmse_std["0.05"].tolist() == [1.0, 1.0]
+        assert tr.n_trials == 2
+
+    def test_misaligned_traces_rejected(self):
+        h1 = self._history([1.0, 2.0])
+        h2 = LearningHistory()
+        h2.append(IterationRecord(99, 0.0, {"0.05": 1.0}))
+        with pytest.raises(ValueError, match="evaluation points"):
+            average_histories("pwu", [h1, h2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_histories("pwu", [])
+
+    def test_helpers(self):
+        tr = average_histories("x", [self._history([3.0, 1.0, 2.0])])
+        assert tr.final_rmse("0.05") == 2.0
+        assert tr.min_rmse("0.05") == 1.0
+        d = tr.to_dict()
+        assert d["strategy"] == "x"
+        assert d["rmse_mean"]["0.05"] == [3.0, 1.0, 2.0]
+
+
+class TestRunners:
+    def test_run_strategy_end_to_end(self, tiny_scale):
+        trace = run_strategy("mvt", "pwu", tiny_scale, seed=0)
+        assert trace.strategy == "pwu"
+        assert trace.n_train[-1] == tiny_scale.n_max
+        assert (trace.cc_mean > 0).all()
+        assert set(trace.rmse_mean) == {"0.01", "0.05", "0.1"}
+
+    def test_run_comparison_shares_eval_grid(self, tiny_scale):
+        res = run_comparison("mvt", ("random", "pwu"), tiny_scale, seed=0)
+        assert set(res) == {"random", "pwu"}
+        assert np.array_equal(res["random"].n_train, res["pwu"].n_train)
+
+    def test_reproducible(self, tiny_scale):
+        a = run_strategy("mvt", "pbus", tiny_scale, seed=3)
+        b = run_strategy("mvt", "pbus", tiny_scale, seed=3)
+        assert np.array_equal(a.cc_mean, b.cc_mean)
+        assert np.array_equal(a.rmse_mean["0.05"], b.rmse_mean["0.05"])
+
+    def test_different_seeds_differ(self, tiny_scale):
+        a = run_strategy("mvt", "random", tiny_scale, seed=1)
+        b = run_strategy("mvt", "random", tiny_scale, seed=2)
+        assert not np.array_equal(a.cc_mean, b.cc_mean)

@@ -1,0 +1,60 @@
+"""Tests for the six non-paper SPAPT kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    EXTRA_KERNEL_NAMES,
+    SPAPT_KERNEL_NAMES,
+    make_extra_kernel,
+)
+from repro.workloads import get_benchmark
+
+
+class TestInventory:
+    def test_six_extras_complete_the_suite_of_18(self):
+        assert len(EXTRA_KERNEL_NAMES) == 6
+        assert len(set(EXTRA_KERNEL_NAMES) | set(SPAPT_KERNEL_NAMES)) == 18
+
+    def test_extras_not_in_paper_set(self):
+        assert set(EXTRA_KERNEL_NAMES).isdisjoint(SPAPT_KERNEL_NAMES)
+
+    def test_unknown_extra(self):
+        with pytest.raises(KeyError, match="extra"):
+            make_extra_kernel("adi")
+
+
+@pytest.mark.parametrize("name", EXTRA_KERNEL_NAMES)
+class TestEveryExtraKernel:
+    def test_registered_and_functional(self, name, rng):
+        bench = get_benchmark(name)
+        X = bench.space.sample_encoded(rng, 100)
+        t = bench.true_times_encoded(X)
+        assert np.isfinite(t).all() and (t > 0).all()
+        assert t.max() / t.min() > 1.5
+
+    def test_measurement_path(self, name, rng):
+        bench = get_benchmark(name)
+        X = bench.space.sample_encoded(rng, 5)
+        obs = bench.measure_encoded(X, rng)
+        assert (obs > 0).all()
+
+
+class TestSeidelSpecifics:
+    def test_vectorization_flag_never_speeds_up_seidel(self, rng):
+        """Gauss-Seidel's loop-carried dependences defeat SIMD: forcing the
+        flag must not make any configuration faster."""
+        bench = get_benchmark("seidel")
+        X = bench.space.sample_encoded(rng, 60)
+        vec_col = list(bench.space.names).index("VEC")
+        X_off, X_on = X.copy(), X.copy()
+        X_off[:, vec_col] = 0.0
+        X_on[:, vec_col] = 1.0
+        t_off = bench.true_times_encoded(X_off)
+        t_on = bench.true_times_encoded(X_on)
+        assert (t_on >= t_off - 1e-12).all()
+
+    def test_stencil3d_is_memory_heavy(self, rng):
+        bench = get_benchmark("stencil3d")
+        d = bench.descriptor
+        assert d.accesses > d.flops  # bandwidth-bound by construction

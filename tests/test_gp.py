@@ -1,0 +1,143 @@
+"""Tests for the Gaussian-process surrogate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import GaussianProcessRegressor, rbf_kernel
+from repro.gp.kernels import squared_distances
+
+
+class TestKernels:
+    def test_squared_distances_exact(self):
+        A = np.array([[0.0, 0.0], [1.0, 1.0]])
+        B = np.array([[0.0, 1.0]])
+        d = squared_distances(A, B)
+        assert d.tolist() == [[1.0], [1.0]]
+
+    def test_self_distances_zero_diagonal(self, rng):
+        A = rng.random((20, 3))
+        d = squared_distances(A, A)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            squared_distances(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_rbf_at_zero_distance_is_signal_variance(self):
+        A = np.array([[1.0, 2.0]])
+        K = rbf_kernel(A, A, lengthscale=0.5, signal_variance=3.0)
+        assert K[0, 0] == pytest.approx(3.0)
+
+    def test_rbf_decays_with_distance(self):
+        A = np.array([[0.0]])
+        B = np.array([[0.0], [1.0], [2.0]])
+        K = rbf_kernel(A, B, lengthscale=1.0, signal_variance=1.0)[0]
+        assert K[0] > K[1] > K[2]
+
+    def test_rbf_validation(self):
+        A = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            rbf_kernel(A, A, lengthscale=0.0, signal_variance=1.0)
+        with pytest.raises(ValueError):
+            rbf_kernel(A, A, lengthscale=1.0, signal_variance=-1.0)
+
+
+class TestGPRegression:
+    def test_interpolates_clean_data(self, rng):
+        X = np.linspace(0, 1, 25).reshape(-1, 1)
+        y = np.sin(4 * X[:, 0])
+        gp = GaussianProcessRegressor(seed=0).fit(X, y)
+        pred = gp.predict(X)
+        assert np.sqrt(np.mean((pred - y) ** 2)) < 0.05
+
+    def test_extrapolation_reverts_to_mean_with_high_sigma(self, rng):
+        X = rng.random((40, 1)) * 0.3
+        y = 2.0 + X[:, 0]
+        gp = GaussianProcessRegressor(seed=0).fit(X, y)
+        _, sigma_in = gp.predict_with_uncertainty(np.array([[0.15]]))
+        _, sigma_out = gp.predict_with_uncertainty(np.array([[5.0]]))
+        assert sigma_out[0] > sigma_in[0]
+
+    def test_sigma_nonnegative(self, regression_data):
+        X, y = regression_data
+        gp = GaussianProcessRegressor(seed=0).fit(X[:80], y[:80])
+        _, sigma = gp.predict_with_uncertainty(X[80:150])
+        assert (sigma >= 0).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GaussianProcessRegressor().predict(np.zeros((1, 2)))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="two"):
+            GaussianProcessRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            GaussianProcessRegressor().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_noisy_data_does_not_crash_and_smooths(self, rng):
+        X = np.linspace(0, 1, 60).reshape(-1, 1)
+        y = np.sin(3 * X[:, 0]) + rng.normal(0, 0.3, 60)
+        gp = GaussianProcessRegressor(seed=0).fit(X, y)
+        assert gp.noise_variance_ > 1e-4  # it noticed the noise
+        pred = gp.predict(X)
+        clean = np.sin(3 * X[:, 0])
+        assert np.sqrt(np.mean((pred - clean) ** 2)) < 0.3
+
+    def test_constant_target_handled(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        gp = GaussianProcessRegressor(seed=0).fit(X, np.full(10, 5.0))
+        mu, _ = gp.predict_with_uncertainty(X)
+        assert np.allclose(mu, 5.0, atol=1e-6)
+
+    def test_log_marginal_likelihood_finite(self, regression_data):
+        X, y = regression_data
+        gp = GaussianProcessRegressor(seed=0).fit(X[:50], y[:50])
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+    def test_restart_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(n_restarts=-1)
+
+
+class TestLearnerIntegration:
+    def test_gp_drives_algorithm_1(self, tiny_scale):
+        from repro.experiments.runner import run_strategy
+
+        trace = run_strategy(
+            "mvt",
+            "pwu",
+            tiny_scale,
+            seed=0,
+            config_overrides={"model": "gp"},
+        )
+        assert trace.n_train[-1] == tiny_scale.n_max
+        assert np.isfinite(trace.rmse_mean["0.05"]).all()
+
+    def test_gp_partial_retrain_rejected(self):
+        from repro.active import LearnerConfig
+
+        with pytest.raises(ValueError, match="scratch"):
+            LearnerConfig(model="gp", retrain="partial")
+
+    def test_unknown_model_rejected(self):
+        from repro.active import LearnerConfig
+
+        with pytest.raises(ValueError, match="model"):
+            LearnerConfig(model="svm")
+
+
+@given(seed=st.integers(0, 500), n=st.integers(5, 30))
+@settings(max_examples=10, deadline=None)
+def test_property_posterior_mean_bounded_by_data_scale(seed, n):
+    """Posterior means stay within a few target standard deviations."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = rng.normal(size=n)
+    gp = GaussianProcessRegressor(n_restarts=0, seed=0).fit(X, y)
+    mu = gp.predict(rng.random((20, 2)))
+    span = max(y.std(), 1e-6)
+    assert np.all(np.abs(mu - y.mean()) < 6.0 * span + 1.0)

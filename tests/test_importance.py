@@ -1,0 +1,45 @@
+"""Tests for permutation importance."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor, permutation_importance
+
+
+@pytest.fixture
+def fitted_problem(rng):
+    X = rng.random((250, 4))
+    y = 5.0 * X[:, 1] + 0.5 * X[:, 3] + rng.normal(0, 0.05, 250)
+    model = RandomForestRegressor(n_estimators=15, seed=0).fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_dominant_feature_found(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y, seed=0)
+        assert imp.argmax() == 1
+
+    def test_irrelevant_features_near_zero(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y, n_repeats=10, seed=0)
+        assert abs(imp[0]) < 0.2 * imp[1]
+        assert abs(imp[2]) < 0.2 * imp[1]
+
+    def test_weak_feature_between(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y, n_repeats=10, seed=0)
+        assert imp[1] > imp[3] > abs(imp[2])
+
+    def test_reproducible(self, fitted_problem):
+        model, X, y = fitted_problem
+        a = permutation_importance(model, X, y, seed=3)
+        b = permutation_importance(model, X, y, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_validation(self, fitted_problem):
+        model, X, y = fitted_problem
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+        with pytest.raises(ValueError, match="rows"):
+            permutation_importance(model, X, y[:-1])

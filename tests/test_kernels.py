@@ -1,0 +1,106 @@
+"""Tests for the 12 SPAPT kernel benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    KERNEL_DESCRIPTORS,
+    SPAPT_KERNEL_NAMES,
+    make_kernel,
+)
+from repro.kernels.spapt import REGTILE_SIZES, TILE_SIZES, UNROLL_RANGE
+
+
+class TestSuiteInventory:
+    def test_twelve_kernels(self):
+        assert len(SPAPT_KERNEL_NAMES) == 12
+
+    def test_expected_names(self):
+        expected = {
+            "adi", "atax", "bicgkernel", "correlation", "dgemv3", "gemver",
+            "gesummv", "hessian", "jacobi", "lu", "mm", "mvt",
+        }
+        assert set(SPAPT_KERNEL_NAMES) == expected
+
+    def test_parameter_count_range_matches_paper(self):
+        """The paper quotes 8..38 compilation parameters across the suite."""
+        counts = [d.n_parameters for d in KERNEL_DESCRIPTORS.values()]
+        assert min(counts) == 8
+        assert max(counts) == 38
+
+    def test_adi_matches_table_1(self):
+        """Table I: 8 tile, 4 unroll-jam, 4 register-tile params + 2 flags."""
+        adi = make_kernel("adi")
+        d = KERNEL_DESCRIPTORS["adi"]
+        assert (d.n_tile, d.n_unroll, d.n_regtile) == (8, 4, 4)
+        assert adi.space.n_parameters == 18
+        assert adi.space["T1"].values == TILE_SIZES
+        assert adi.space["U1"].values == tuple(range(UNROLL_RANGE[0], UNROLL_RANGE[1] + 1))
+        assert adi.space["RT1"].values == REGTILE_SIZES
+        assert adi.space["SCR"].values == (False, True)
+        assert adi.space["VEC"].values == (False, True)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown SPAPT kernel"):
+            make_kernel("nope")
+
+
+@pytest.mark.parametrize("name", SPAPT_KERNEL_NAMES)
+class TestEveryKernel:
+    def test_times_positive_and_finite(self, name, rng):
+        k = make_kernel(name)
+        X = k.space.sample_encoded(rng, 200)
+        t = k.true_times_encoded(X)
+        assert t.shape == (200,)
+        assert np.isfinite(t).all() and (t > 0).all()
+
+    def test_deterministic_ground_truth(self, name, rng):
+        k1, k2 = make_kernel(name), make_kernel(name)
+        X = k1.space.sample_encoded(rng, 30)
+        assert np.array_equal(k1.true_times_encoded(X), k2.true_times_encoded(X))
+
+    def test_surface_is_not_flat(self, name, rng):
+        k = make_kernel(name)
+        t = k.true_times_encoded(k.space.sample_encoded(rng, 400))
+        assert t.max() / t.min() > 1.5
+
+    def test_measurement_is_noisy_but_unbiased(self, name, rng):
+        k = make_kernel(name)
+        X = k.space.sample_encoded(rng, 5)
+        truth = k.true_times_encoded(X)
+        obs = np.mean([k.measure_encoded(X, np.random.default_rng(s)) for s in range(30)], axis=0)
+        # 35-repeat averaging keeps the observation within ~15% of truth
+        # (outliers are one-sided, so the mean sits slightly above).
+        assert np.all(obs > 0.85 * truth)
+        assert np.all(obs < 1.35 * truth)
+
+
+class TestResponseSurfaceShape:
+    def test_sub_second_medians(self, rng):
+        """Paper: kernel executions are 'usually less than one second'."""
+        medians = []
+        for name in SPAPT_KERNEL_NAMES:
+            k = make_kernel(name)
+            t = k.true_times_encoded(k.space.sample_encoded(rng, 300))
+            medians.append(np.median(t))
+        assert np.median(medians) < 1.0
+
+    def test_heavy_right_tail(self, rng):
+        """Bad configurations are many times slower than the best."""
+        k = make_kernel("atax")
+        t = k.true_times_encoded(k.space.sample_encoded(rng, 2000))
+        assert np.percentile(t, 99) / np.percentile(t, 1) > 5.0
+
+    def test_different_kernels_have_different_surfaces(self, rng):
+        a = make_kernel("atax")
+        b = make_kernel("bicgkernel")
+        # Same parameter count would be needed to compare pointwise; compare
+        # distribution medians instead.
+        ta = a.true_times_encoded(a.space.sample_encoded(rng, 500))
+        tb = b.true_times_encoded(b.space.sample_encoded(rng, 500))
+        assert abs(np.median(ta) - np.median(tb)) > 1e-3
+
+    def test_space_sizes_in_paper_band(self):
+        """Suite spans huge spaces (largest at least 1e30, per the paper)."""
+        sizes = [make_kernel(n).space.log10_size() for n in SPAPT_KERNEL_NAMES]
+        assert max(sizes) >= 30.0

@@ -1,0 +1,56 @@
+"""Tests for Latin-hypercube pool sampling."""
+
+import numpy as np
+import pytest
+
+from repro.space import Constraint, IntegerParameter, OrdinalParameter, ParameterSpace
+
+
+@pytest.fixture
+def space():
+    return ParameterSpace(
+        [
+            OrdinalParameter("t", [1, 16, 32, 64, 128, 256, 512]),
+            IntegerParameter("u", 1, 31),
+        ]
+    )
+
+
+class TestLHS:
+    def test_shape_and_admissibility(self, space, rng):
+        X = space.sample_lhs_encoded(rng, 100)
+        assert X.shape == (100, 2)
+        for cfg in space.decode(X):
+            assert cfg["t"] in space["t"]
+            assert cfg["u"] in space["u"]
+
+    def test_stratification_beats_iid_on_axis_coverage(self, space):
+        """With n = #values per axis, LHS hits (nearly) every value; iid
+        uniform reliably misses some."""
+        n = 31
+        lhs_hits, iid_hits = [], []
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            lhs = space.sample_lhs_encoded(rng, n)
+            iid = space.sample_encoded(np.random.default_rng(seed + 1000), n)
+            lhs_hits.append(len(np.unique(lhs[:, 1])))
+            iid_hits.append(len(np.unique(iid[:, 1])))
+        assert np.mean(lhs_hits) > np.mean(iid_hits)
+        assert np.mean(lhs_hits) >= 30.5  # essentially all 31 values
+
+    def test_deterministic_given_rng(self, space):
+        a = space.sample_lhs_encoded(np.random.default_rng(5), 40)
+        b = space.sample_lhs_encoded(np.random.default_rng(5), 40)
+        assert np.array_equal(a, b)
+
+    def test_constrained_space_rejected(self, rng):
+        s = ParameterSpace(
+            [IntegerParameter("a", 1, 4), IntegerParameter("b", 1, 4)],
+            constraints=[Constraint("c", lambda X: X[:, 0] <= X[:, 1])],
+        )
+        with pytest.raises(ValueError, match="Latin-hypercube"):
+            s.sample_lhs_encoded(rng, 5)
+
+    def test_negative_count(self, space, rng):
+        with pytest.raises(ValueError, match="negative"):
+            space.sample_lhs_encoded(rng, -1)

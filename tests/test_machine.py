@@ -1,0 +1,130 @@
+"""Tests for machine models and the cache-latency staircase."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    PLATFORM_A,
+    PLATFORM_B,
+    CacheLevel,
+    MachineModel,
+    NetworkModel,
+    average_access_latency,
+    miss_fraction,
+    platform_table,
+)
+
+
+class TestCacheLevel:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 0, 4.0)
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 1024, -1.0)
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 1024, 4.0, line_bytes=0)
+
+
+class TestNetworkModel:
+    def test_message_time_is_alpha_beta(self):
+        net = NetworkModel(alpha_s=1e-6, beta_s_per_byte=1e-9)
+        assert net.message_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_zero_byte_message_costs_alpha(self):
+        net = NetworkModel(alpha_s=2e-6, beta_s_per_byte=1e-9)
+        assert net.message_time(0) == pytest.approx(2e-6)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(alpha_s=-1.0, beta_s_per_byte=0.0)
+
+
+class TestMachineModel:
+    def test_platforms_valid(self):
+        # Construction itself runs the validation.
+        assert PLATFORM_A.cores == 24
+        assert PLATFORM_B.cores == 28
+        assert PLATFORM_B.network is not None
+        assert PLATFORM_A.network is None
+
+    def test_cache_order_enforced(self):
+        with pytest.raises(ValueError, match="ordered"):
+            MachineModel(
+                name="bad",
+                cores=1,
+                frequency_hz=1e9,
+                caches=(
+                    CacheLevel("L2", 1 << 18, 12.0),
+                    CacheLevel("L1", 1 << 15, 4.0),
+                ),
+                memory_latency_cycles=100.0,
+                memory_bandwidth_bytes_s=1e9,
+                memory_bytes=1 << 30,
+            )
+
+    def test_memory_latency_must_exceed_llc(self):
+        with pytest.raises(ValueError, match="memory latency"):
+            MachineModel(
+                name="bad",
+                cores=1,
+                frequency_hz=1e9,
+                caches=(CacheLevel("L1", 1 << 15, 40.0),),
+                memory_latency_cycles=10.0,
+                memory_bandwidth_bytes_s=1e9,
+                memory_bytes=1 << 30,
+            )
+
+    def test_cycles_to_seconds(self):
+        assert PLATFORM_A.cycles_to_seconds(2.5e9) == pytest.approx(1.0)
+
+    def test_peak_flops_positive(self):
+        assert PLATFORM_A.peak_flops() > 1e11  # a Haswell node is O(100 GF)
+
+
+class TestMissFraction:
+    def test_small_working_set_hits(self):
+        f = miss_fraction(np.array([1024.0]), 32 * 1024)
+        assert f[0] < 0.01
+
+    def test_huge_working_set_misses(self):
+        f = miss_fraction(np.array([1e9]), 32 * 1024)
+        assert f[0] > 0.99
+
+    def test_monotone_in_working_set(self):
+        ws = np.logspace(2, 9, 50)
+        f = miss_fraction(ws, 256 * 1024)
+        assert (np.diff(f) >= 0).all()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            miss_fraction(np.array([0.0]), 1024)
+        with pytest.raises(ValueError):
+            miss_fraction(np.array([10.0]), 0)
+
+
+class TestAverageAccessLatency:
+    def test_l1_resident_near_l1_latency(self):
+        lat = average_access_latency(PLATFORM_A, np.array([4096.0]))
+        assert lat[0] == pytest.approx(PLATFORM_A.caches[0].latency_cycles, rel=0.3)
+
+    def test_memory_resident_near_memory_latency(self):
+        lat = average_access_latency(PLATFORM_A, np.array([4e9]))
+        assert lat[0] > 0.8 * PLATFORM_A.memory_latency_cycles
+
+    def test_staircase_is_monotone(self):
+        ws = np.logspace(2, 10, 100)
+        lat = average_access_latency(PLATFORM_A, ws)
+        assert (np.diff(lat) >= -1e-9).all()
+
+    def test_l2_resident_between_l1_and_l3(self):
+        ws = np.array([128.0 * 1024])  # fits L2 region (256KB), exceeds L1
+        lat = average_access_latency(PLATFORM_A, ws)[0]
+        assert PLATFORM_A.caches[0].latency_cycles < lat
+        assert lat < PLATFORM_A.caches[2].latency_cycles
+
+
+class TestPlatformTable:
+    def test_table_iv_contents(self):
+        text = platform_table()
+        for token in ("E5-2680 v3", "E5-2680 v4", "24", "28", "100Gbps OPA"):
+            assert token in text

@@ -1,0 +1,151 @@
+"""Tests for the evaluation metrics (Equations 2 and 3, Fig. 7 speedup)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    cost_to_reach,
+    cumulative_cost,
+    rmse,
+    speedup_at_level,
+    top_alpha_rmse,
+)
+
+
+class TestRMSE:
+    def test_zero_for_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.ones(3), np.ones(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestTopAlphaRMSE:
+    def test_uses_floor_n_alpha_best_samples(self):
+        """Equation 2: m = ⌊nα⌋ samples with the shortest observed times."""
+        y_true = np.array([5.0, 1.0, 3.0, 2.0, 4.0] * 2)  # n=10
+        y_pred = y_true + 1.0
+        # alpha=0.25 -> m=2: the two fastest samples (1.0 and 1.0 here twice)
+        v = top_alpha_rmse(y_true, y_pred, alpha=0.25)
+        assert v == pytest.approx(1.0)
+
+    def test_error_outside_top_slice_ignored(self):
+        y_true = np.arange(1.0, 11.0)  # fastest two: 1, 2
+        y_pred = y_true.copy()
+        y_pred[-1] += 1000.0  # huge error on the slowest sample
+        assert top_alpha_rmse(y_true, y_pred, alpha=0.2) == 0.0
+
+    def test_error_inside_top_slice_counts(self):
+        y_true = np.arange(1.0, 11.0)
+        y_pred = y_true.copy()
+        y_pred[0] += 3.0
+        assert top_alpha_rmse(y_true, y_pred, alpha=0.2) == pytest.approx(
+            np.sqrt(9.0 / 2)
+        )
+
+    def test_alpha_one_is_plain_rmse(self, rng):
+        y_true = rng.random(50)
+        y_pred = rng.random(50)
+        assert top_alpha_rmse(y_true, y_pred, 1.0) == pytest.approx(
+            rmse(y_true, y_pred)
+        )
+
+    def test_too_small_test_set_rejected(self):
+        with pytest.raises(ValueError, match="top"):
+            top_alpha_rmse(np.ones(10), np.ones(10), alpha=0.01)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            top_alpha_rmse(np.ones(10), np.ones(10), alpha=0.0)
+
+
+class TestCumulativeCost:
+    def test_is_sum(self):
+        assert cumulative_cost(np.array([1.0, 2.0, 3.5])) == 6.5
+
+    def test_empty_is_zero(self):
+        assert cumulative_cost(np.array([])) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_cost(np.array([-1.0]))
+
+
+class TestCostToReach:
+    def test_first_crossing(self):
+        costs = np.array([1.0, 2.0, 3.0, 4.0])
+        errors = np.array([0.9, 0.5, 0.6, 0.1])
+        assert cost_to_reach(costs, errors, 0.5) == 2.0
+
+    def test_never_reached_is_nan(self):
+        costs = np.array([1.0, 2.0])
+        errors = np.array([0.9, 0.8])
+        assert np.isnan(cost_to_reach(costs, errors, 0.1))
+
+    def test_decreasing_costs_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            cost_to_reach(np.array([2.0, 1.0]), np.array([1.0, 0.5]), 0.6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cost_to_reach(np.array([]), np.array([]), 0.5)
+
+
+class TestSpeedupAtLevel:
+    def test_explicit_level(self):
+        cb = np.array([10.0, 20.0, 30.0])
+        eb = np.array([0.9, 0.5, 0.2])
+        co = np.array([5.0, 10.0, 15.0])
+        eo = np.array([0.9, 0.4, 0.2])
+        sp, level = speedup_at_level(cb, eb, co, eo, level=0.5)
+        assert level == 0.5
+        assert sp == pytest.approx(20.0 / 10.0)
+
+    def test_auto_level_is_joint_reachable(self):
+        cb = np.array([10.0, 20.0])
+        eb = np.array([0.6, 0.3])
+        co = np.array([4.0, 8.0])
+        eo = np.array([0.5, 0.2])
+        sp, level = speedup_at_level(cb, eb, co, eo)
+        # level = max(0.3, 0.2) * 1.05 = 0.315 → baseline reaches at 20, ours at 8
+        assert level == pytest.approx(0.315)
+        assert sp == pytest.approx(20.0 / 8.0)
+
+    def test_unreachable_level_gives_nan(self):
+        cb = np.array([10.0])
+        eb = np.array([0.9])
+        co = np.array([5.0])
+        eo = np.array([0.2])
+        sp, _ = speedup_at_level(cb, eb, co, eo, level=0.1)
+        assert np.isnan(sp)
+
+
+@given(
+    data=st.lists(
+        st.tuples(st.floats(0.01, 100.0), st.floats(0.0, 10.0)),
+        min_size=100,
+        max_size=300,
+    ),
+    alpha=st.sampled_from([0.01, 0.05, 0.1, 0.5]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_top_alpha_rmse_bounded_by_worst_case(data, alpha):
+    """RMSE over the top slice never exceeds the max absolute error."""
+    y_true = np.array([d[0] for d in data])
+    y_pred = y_true + np.array([d[1] for d in data])
+    v = top_alpha_rmse(y_true, y_pred, alpha)
+    assert v <= np.abs(y_pred - y_true).max() + 1e-9
+    assert v >= 0.0

@@ -1,0 +1,79 @@
+"""Tests for the measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.noise import APP_PROTOCOL, KERNEL_PROTOCOL, MeasurementProtocol
+
+
+class TestValidation:
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(n_repeats=0)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(noise_sigma=-0.1)
+
+    def test_bad_outlier_prob(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(outlier_prob=1.0)
+
+    def test_outliers_must_slow_down(self):
+        with pytest.raises(ValueError, match="slow"):
+            MeasurementProtocol(outlier_scale=0.5)
+
+
+class TestObserve:
+    def test_positive_output(self, rng):
+        p = MeasurementProtocol()
+        obs = p.observe(np.array([0.1, 1.0, 10.0]), rng)
+        assert (obs > 0).all()
+
+    def test_rejects_nonpositive_truth(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            MeasurementProtocol().observe(np.array([0.0]), rng)
+
+    def test_zero_noise_single_repeat_is_identity(self, rng):
+        p = MeasurementProtocol(n_repeats=1, noise_sigma=0.0, outlier_prob=0.0)
+        truth = np.array([0.5, 2.0])
+        assert np.allclose(p.observe(truth, rng), truth)
+
+    def test_more_repeats_reduce_variance(self):
+        truth = np.full(400, 1.0)
+        p1 = MeasurementProtocol(n_repeats=1, noise_sigma=0.1, outlier_prob=0.0)
+        p35 = MeasurementProtocol(n_repeats=35, noise_sigma=0.1, outlier_prob=0.0)
+        v1 = p1.observe(truth, np.random.default_rng(0)).std()
+        v35 = p35.observe(truth, np.random.default_rng(0)).std()
+        assert v35 < v1 / 3.0  # sqrt(35) ≈ 5.9x reduction expected
+
+    def test_outliers_bias_upward_only(self):
+        """Timing outliers only ever slow a run down."""
+        truth = np.full(2000, 1.0)
+        clean = MeasurementProtocol(n_repeats=1, noise_sigma=0.0, outlier_prob=0.0)
+        dirty = MeasurementProtocol(
+            n_repeats=1, noise_sigma=0.0, outlier_prob=0.2, outlier_scale=5.0
+        )
+        obs_clean = clean.observe(truth, np.random.default_rng(1))
+        obs_dirty = dirty.observe(truth, np.random.default_rng(1))
+        assert (obs_dirty >= obs_clean - 1e-12).all()
+        assert obs_dirty.mean() > obs_clean.mean()
+
+    def test_observe_one(self, rng):
+        assert MeasurementProtocol().observe_one(1.0, rng) > 0
+
+    def test_unbiased_within_tolerance(self):
+        """Repeat-averaged observation hovers near the true value."""
+        p = MeasurementProtocol(n_repeats=35, noise_sigma=0.04, outlier_prob=0.0)
+        truth = np.full(1000, 2.0)
+        obs = p.observe(truth, np.random.default_rng(2))
+        assert obs.mean() == pytest.approx(2.0, rel=0.02)
+
+
+class TestPresets:
+    def test_kernel_protocol_is_35_repeats(self):
+        """Section III-B: every kernel configuration is executed 35 times."""
+        assert KERNEL_PROTOCOL.n_repeats == 35
+
+    def test_app_protocol_fewer_repeats(self):
+        assert 1 < APP_PROTOCOL.n_repeats < KERNEL_PROTOCOL.n_repeats

@@ -1,0 +1,93 @@
+"""Tests for DataPool bookkeeping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import DataPool
+
+
+@pytest.fixture
+def pool() -> DataPool:
+    return DataPool(np.arange(40, dtype=float).reshape(20, 2))
+
+
+class TestConstruction:
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            DataPool(np.arange(5.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DataPool(np.empty((0, 3)))
+
+    def test_matrix_is_immutable(self, pool):
+        with pytest.raises(ValueError):
+            pool.X[0, 0] = 99.0
+
+
+class TestTake:
+    def test_take_returns_rows(self, pool):
+        rows = pool.take([3, 5])
+        assert np.array_equal(rows, pool.X[[3, 5]])
+
+    def test_take_removes_from_available(self, pool):
+        pool.take([0, 1, 2])
+        assert pool.n_available == 17
+        assert not pool.is_available(1)
+        assert 0 not in pool.available_indices()
+
+    def test_double_take_rejected(self, pool):
+        pool.take([4])
+        with pytest.raises(ValueError, match="already taken"):
+            pool.take([4])
+
+    def test_duplicate_in_batch_rejected(self, pool):
+        with pytest.raises(ValueError, match="duplicate"):
+            pool.take([1, 1])
+
+    def test_out_of_range_rejected(self, pool):
+        with pytest.raises(IndexError):
+            pool.take([25])
+        with pytest.raises(IndexError):
+            pool.take([-1])
+
+    def test_empty_take_is_noop(self, pool):
+        rows = pool.take([])
+        assert rows.shape == (0, 2)
+        assert pool.n_available == 20
+
+    def test_indices_stay_global(self, pool):
+        pool.take([0, 1])
+        rows = pool.take([19])
+        assert np.array_equal(rows[0], pool.X[19])
+
+
+class TestViews:
+    def test_available_X_matches_indices(self, pool):
+        pool.take([2, 7])
+        assert np.array_equal(pool.available_X(), pool.X[pool.available_indices()])
+
+    def test_len_is_available_count(self, pool):
+        assert len(pool) == 20
+        pool.take([0])
+        assert len(pool) == 19
+
+    def test_reset_restores_everything(self, pool):
+        pool.take(list(range(10)))
+        pool.reset()
+        assert pool.n_available == 20
+
+
+@given(
+    picks=st.lists(st.integers(0, 19), min_size=1, max_size=20, unique=True)
+)
+@settings(max_examples=30, deadline=None)
+def test_property_take_conserves_rows(picks):
+    """taken ∪ available is always a partition of the pool."""
+    pool = DataPool(np.arange(40, dtype=float).reshape(20, 2))
+    pool.take(picks)
+    remaining = set(pool.available_indices().tolist())
+    assert remaining.isdisjoint(picks)
+    assert remaining | set(picks) == set(range(20))

@@ -1,0 +1,126 @@
+"""Tests for the PWU score (Equation 1) — the paper's central formula."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forest import RandomForestRegressor
+from repro.sampling import PWUSampling, pwu_scores
+from repro.space import DataPool
+
+
+class TestEquationOne:
+    def test_formula(self):
+        mu = np.array([2.0, 4.0])
+        sigma = np.array([1.0, 1.0])
+        s = pwu_scores(mu, sigma, alpha=0.05)
+        assert s[0] == pytest.approx(1.0 / 2.0**0.95)
+        assert s[1] == pytest.approx(1.0 / 4.0**0.95)
+
+    def test_alpha_one_reduces_to_sigma(self):
+        """Section II-C: α→1 ⇒ s = σ (pure uncertainty sampling / MaxU)."""
+        mu = np.array([0.5, 2.0, 7.0])
+        sigma = np.array([0.3, 0.1, 0.2])
+        assert np.allclose(pwu_scores(mu, sigma, alpha=1.0), sigma)
+
+    def test_alpha_zero_is_coefficient_of_variation(self):
+        """Section II-C: α→0 ⇒ s = σ/μ (the coefficient of variation)."""
+        mu = np.array([0.5, 2.0, 7.0])
+        sigma = np.array([0.3, 0.1, 0.2])
+        assert np.allclose(pwu_scores(mu, sigma, alpha=0.0), sigma / mu)
+
+    def test_faster_config_wins_at_equal_uncertainty(self):
+        """The paper's motivating example: same σ, higher performance
+        (shorter predicted time) must score higher."""
+        mu = np.array([1.0, 3.0])
+        sigma = np.array([0.2, 0.2])
+        s = pwu_scores(mu, sigma, alpha=0.05)
+        assert s[0] > s[1]
+
+    def test_more_uncertain_config_wins_at_equal_performance(self):
+        mu = np.array([2.0, 2.0])
+        sigma = np.array([0.5, 0.1])
+        s = pwu_scores(mu, sigma, alpha=0.05)
+        assert s[0] > s[1]
+
+    def test_rejects_nonpositive_mu(self):
+        with pytest.raises(ValueError, match="positive"):
+            pwu_scores(np.array([0.0]), np.array([1.0]), 0.05)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            pwu_scores(np.array([1.0]), np.array([-1.0]), 0.05)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            pwu_scores(np.array([1.0]), np.array([1.0]), 1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes"):
+            pwu_scores(np.ones(3), np.ones(2), 0.05)
+
+
+class TestPWUSampling:
+    def test_selects_argmax_of_score(self, rng):
+        X = rng.random((100, 3))
+        y = 1.0 + X[:, 0]
+        pool = DataPool(X)
+        model = RandomForestRegressor(n_estimators=10, seed=0).fit(X[:40], y[:40])
+        strat = PWUSampling(alpha=0.05)
+        picked = strat.select(model, pool, 4, rng)
+        mu, sigma = model.predict_with_uncertainty(pool.X)
+        scores = pwu_scores(mu, sigma, 0.05)
+        top4 = np.sort(scores)[::-1][:4]
+        assert np.allclose(np.sort(scores[picked])[::-1], top4)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            PWUSampling(alpha=-0.1)
+
+    def test_alpha_one_matches_maxu(self, rng):
+        """Degenerate PWU must make exactly MaxU's choices."""
+        from repro.sampling import MaxUncertaintySampling
+
+        X = rng.random((80, 3))
+        y = 1.0 + X[:, 1]
+        pool_a, pool_b = DataPool(X), DataPool(X)
+        model = RandomForestRegressor(n_estimators=12, seed=0).fit(X[:30], y[:30])
+        a = PWUSampling(alpha=1.0).select(model, pool_a, 6, rng)
+        b = MaxUncertaintySampling().select(model, pool_b, 6, rng)
+        assert set(a.tolist()) == set(b.tolist())
+
+
+@given(
+    alpha=st.floats(0.0, 1.0),
+    mu_scale=st.floats(0.1, 100.0),
+    seed=st.integers(0, 999),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_score_monotonicities(alpha, mu_scale, seed):
+    """s increases in σ and decreases in μ, for every α in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    mu = rng.uniform(0.1, 10.0, 50) * mu_scale
+    sigma = rng.uniform(0.0, 5.0, 50)
+    s = pwu_scores(mu, sigma, alpha)
+    # Monotone in sigma at fixed mu:
+    s_up = pwu_scores(mu, sigma + 1.0, alpha)
+    assert (s_up >= s).all()
+    # Anti-monotone in mu at fixed sigma (strict unless alpha == 1):
+    s_slow = pwu_scores(mu * 2.0, sigma, alpha)
+    if alpha < 1.0:
+        assert (s_slow <= s + 1e-12).all()
+    else:
+        assert np.allclose(s_slow, s)
+
+
+@given(seed=st.integers(0, 999))
+@settings(max_examples=20, deadline=None)
+def test_property_scale_invariance_of_ranking_at_alpha_zero(seed):
+    """At α=0 the CV score's *ranking* is invariant to rescaling time units."""
+    rng = np.random.default_rng(seed)
+    mu = rng.uniform(0.1, 10.0, 30)
+    sigma = rng.uniform(0.01, 2.0, 30)
+    r1 = np.argsort(pwu_scores(mu, sigma, 0.0))
+    r2 = np.argsort(pwu_scores(mu * 1000.0, sigma * 1000.0, 0.0))
+    assert np.array_equal(r1, r2)

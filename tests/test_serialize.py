@@ -1,0 +1,68 @@
+"""Tests for forest save/load."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor, load_forest, save_forest
+
+
+@pytest.fixture
+def fitted(regression_data):
+    X, y = regression_data
+    return RandomForestRegressor(n_estimators=8, seed=0).fit(X, y), X
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, fitted, tmp_path):
+        model, X = fitted
+        path = str(tmp_path / "forest.npz")
+        save_forest(model, path)
+        loaded = load_forest(path)
+        assert np.array_equal(loaded.predict(X[:50]), model.predict(X[:50]))
+
+    def test_uncertainty_identical(self, fitted, tmp_path):
+        model, X = fitted
+        path = str(tmp_path / "forest.npz")
+        save_forest(model, path)
+        loaded = load_forest(path)
+        mu0, s0 = model.predict_with_uncertainty(X[:30])
+        mu1, s1 = loaded.predict_with_uncertainty(X[:30])
+        assert np.array_equal(mu0, mu1)
+        assert np.array_equal(s0, s1)
+
+    def test_uncertainty_mode_preserved(self, regression_data, tmp_path):
+        X, y = regression_data
+        model = RandomForestRegressor(
+            n_estimators=5, seed=0, uncertainty="total_variance"
+        ).fit(X, y)
+        path = str(tmp_path / "f.npz")
+        save_forest(model, path)
+        assert load_forest(path).uncertainty == "total_variance"
+
+
+class TestErrors:
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_forest(RandomForestRegressor(), str(tmp_path / "f.npz"))
+
+    def test_version_checked(self, fitted, tmp_path):
+        model, _ = fitted
+        path = str(tmp_path / "f.npz")
+        save_forest(model, path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["format_version"] = np.asarray(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_forest(path)
+
+    def test_loaded_forest_cannot_update(self, fitted, tmp_path, regression_data):
+        model, _ = fitted
+        X, y = regression_data
+        path = str(tmp_path / "f.npz")
+        save_forest(model, path)
+        loaded = load_forest(path)
+        # update() on a data-less forest falls back to fit() semantics —
+        # it must not crash, and afterwards it really is refit.
+        loaded.update(X[:30], y[:30])
+        assert loaded.n_training_samples == 30

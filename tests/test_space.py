@@ -1,0 +1,152 @@
+"""Tests for ParameterSpace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import (
+    BooleanParameter,
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    ParameterSpace,
+)
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ParameterSpace([IntegerParameter("a", 0, 1), IntegerParameter("a", 0, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ParameterSpace([])
+
+    def test_lookup_by_name(self, mixed_space):
+        assert mixed_space["tile"].name == "tile"
+        with pytest.raises(KeyError):
+            mixed_space["nope"]
+
+    def test_iteration_and_len(self, mixed_space):
+        assert len(mixed_space) == 4
+        assert [p.name for p in mixed_space] == ["tile", "unroll", "layout", "vec"]
+
+    def test_contains(self, mixed_space):
+        assert "tile" in mixed_space
+        assert "nope" not in mixed_space
+
+
+class TestSize:
+    def test_size_is_product(self, mixed_space):
+        assert mixed_space.size() == 7 * 31 * 3 * 2
+
+    def test_log10_size(self, mixed_space):
+        assert mixed_space.log10_size() == pytest.approx(
+            np.log10(mixed_space.size())
+        )
+
+    def test_categorical_mask(self, mixed_space):
+        assert mixed_space.categorical_mask.tolist() == [False, False, True, True]
+
+
+class TestEncoding:
+    def test_single_dict_encodes_to_row(self, mixed_space):
+        X = mixed_space.encode(
+            {"tile": 64, "unroll": 3, "layout": "DZG", "vec": True}
+        )
+        assert X.shape == (1, 4)
+        assert X.tolist() == [[64.0, 3.0, 1.0, 1.0]]
+
+    def test_roundtrip(self, mixed_space, rng):
+        X = mixed_space.sample_encoded(rng, 50)
+        configs = mixed_space.decode(X)
+        assert np.allclose(mixed_space.encode(configs), X)
+
+    def test_missing_parameter_rejected(self, mixed_space):
+        with pytest.raises(ValueError, match="missing"):
+            mixed_space.encode({"tile": 64})
+
+    def test_unknown_parameter_rejected(self, mixed_space):
+        with pytest.raises(ValueError, match="unknown"):
+            mixed_space.encode(
+                {"tile": 64, "unroll": 3, "layout": "DZG", "vec": True, "x": 1}
+            )
+
+    def test_decode_wrong_width_rejected(self, mixed_space):
+        with pytest.raises(ValueError, match="feature columns"):
+            mixed_space.decode(np.zeros((2, 3)))
+
+    def test_decode_one(self, mixed_space):
+        cfg = mixed_space.decode_one(np.array([1.0, 1.0, 0.0, 0.0]))
+        assert cfg == {"tile": 1, "unroll": 1, "layout": "DGZ", "vec": False}
+
+
+class TestSampling:
+    def test_sample_encoded_shape(self, mixed_space, rng):
+        X = mixed_space.sample_encoded(rng, 25)
+        assert X.shape == (25, 4)
+
+    def test_sampled_values_admissible(self, mixed_space, rng):
+        for cfg in mixed_space.sample(rng, 30):
+            for name, value in cfg.items():
+                assert value in mixed_space[name]
+
+    def test_negative_count_rejected(self, mixed_space, rng):
+        with pytest.raises(ValueError, match="negative"):
+            mixed_space.sample_encoded(rng, -1)
+
+    def test_unique_sampling_no_duplicates(self, mixed_space, rng):
+        X = mixed_space.sample_unique_encoded(rng, 300)
+        assert len({row.tobytes() for row in X}) == 300
+
+    def test_unique_sampling_small_space_exact(self, rng):
+        space = ParameterSpace(
+            [OrdinalParameter("a", [1, 2, 3]), BooleanParameter("b")]
+        )
+        X = space.sample_unique_encoded(rng, 6)
+        assert len({row.tobytes() for row in X}) == 6
+
+    def test_unique_more_than_space_rejected(self, rng):
+        space = ParameterSpace([BooleanParameter("b")])
+        with pytest.raises(ValueError, match="unique"):
+            space.sample_unique_encoded(rng, 3)
+
+    def test_grid_enumerates_everything(self):
+        space = ParameterSpace(
+            [OrdinalParameter("a", [1, 2]), CategoricalParameter("c", ["x", "y", "z"])]
+        )
+        grid = space.grid_encoded()
+        assert grid.shape == (6, 2)
+        assert len({row.tobytes() for row in grid}) == 6
+
+    def test_grid_too_large_rejected(self):
+        space = ParameterSpace(
+            [IntegerParameter(f"p{i}", 0, 99) for i in range(4)]
+        )
+        with pytest.raises(ValueError, match="too large"):
+            space.grid_encoded()
+
+
+class TestDescribe:
+    def test_describe_mentions_every_parameter(self, mixed_space):
+        text = mixed_space.describe()
+        for name in mixed_space.names:
+            assert name in text
+        assert "total configurations" in text
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 40))
+@settings(max_examples=25, deadline=None)
+def test_property_roundtrip_arbitrary_draws(seed, n):
+    """encode(decode(X)) == X for any uniformly drawn sample."""
+    space = ParameterSpace(
+        [
+            OrdinalParameter("t", [1, 16, 32, 64, 128, 256, 512]),
+            IntegerParameter("u", 1, 31),
+            CategoricalParameter("c", ["a", "b", "c", "d"]),
+            BooleanParameter("f"),
+        ]
+    )
+    X = space.sample_encoded(np.random.default_rng(seed), n)
+    assert np.allclose(space.encode(space.decode(X)), X)

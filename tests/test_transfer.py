@@ -1,0 +1,106 @@
+"""Tests for the model-portability extension."""
+
+import numpy as np
+import pytest
+
+from repro.active import LearnerConfig
+from repro.forest import RandomForestRegressor
+from repro.kernels import KERNEL_DESCRIPTORS, SpaptKernel
+from repro.machine import PLATFORM_A, PLATFORM_B
+from repro.space import DataPool
+from repro.transfer import (
+    run_transfer_experiment,
+    surface_correlation,
+    transfer_cold_start,
+)
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def atax_a():
+    return SpaptKernel(KERNEL_DESCRIPTORS["atax"], machine=PLATFORM_A)
+
+
+@pytest.fixture(scope="module")
+def atax_b():
+    return SpaptKernel(KERNEL_DESCRIPTORS["atax"], machine=PLATFORM_B)
+
+
+class TestSurfaceCorrelation:
+    def test_same_benchmark_perfectly_correlated(self, atax_a):
+        rho = surface_correlation(atax_a, atax_a, n_probe=200, seed=0)
+        assert rho == pytest.approx(1.0)
+
+    def test_cross_platform_strongly_related(self, atax_a, atax_b):
+        """Same kernel on A vs B: different machines, same structure."""
+        rho = surface_correlation(atax_a, atax_b, n_probe=300, seed=0)
+        assert rho > 0.8
+
+    def test_mismatched_spaces_rejected(self, atax_a):
+        with pytest.raises(ValueError, match="identically structured"):
+            surface_correlation(atax_a, get_benchmark("adi"))
+
+    def test_deterministic(self, atax_a, atax_b):
+        a = surface_correlation(atax_a, atax_b, n_probe=100, seed=3)
+        b = surface_correlation(atax_a, atax_b, n_probe=100, seed=3)
+        assert a == b
+
+
+class TestTransferColdStart:
+    @pytest.fixture
+    def setup(self, rng):
+        X = rng.random((200, 3))
+        y = 1.0 + X[:, 0]
+        model = RandomForestRegressor(n_estimators=10, seed=0).fit(X[:80], y[:80])
+        return DataPool(X), model
+
+    def test_returns_requested_count_distinct(self, setup, rng):
+        pool, model = setup
+        idx = transfer_cold_start(model, pool, 10, rng)
+        assert len(idx) == 10
+        assert len(np.unique(idx)) == 10
+
+    def test_exploit_half_is_predicted_fast(self, setup, rng):
+        pool, model = setup
+        idx = transfer_cold_start(model, pool, 10, rng, exploit_fraction=0.5)
+        mu = model.predict(pool.X)
+        fast5 = set(np.argsort(mu, kind="stable")[:5].tolist())
+        assert fast5 <= set(idx.tolist())
+
+    def test_pure_random_when_fraction_zero(self, setup):
+        pool, model = setup
+        a = transfer_cold_start(model, pool, 8, np.random.default_rng(1), 0.0)
+        b = transfer_cold_start(model, pool, 8, np.random.default_rng(2), 0.0)
+        assert set(a.tolist()) != set(b.tolist())
+
+    def test_validation(self, setup, rng):
+        pool, model = setup
+        with pytest.raises(ValueError, match="exploit_fraction"):
+            transfer_cold_start(model, pool, 5, rng, exploit_fraction=1.5)
+        with pytest.raises(ValueError, match="exceeds"):
+            transfer_cold_start(model, pool, 999, rng)
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_cross_platform_transfer_runs(self, atax_a, atax_b, rng):
+        X = atax_b.space.sample_unique_encoded(rng, 350)
+        pool, X_test = DataPool(X[:200]), X[200:]
+        y_test = atax_b.measure_encoded(X_test, rng)
+        result = run_transfer_experiment(
+            source=atax_a,
+            target=atax_b,
+            pool=pool,
+            X_test=X_test,
+            y_test=y_test,
+            config=LearnerConfig(
+                n_init=10, n_max=30, eval_every=10, n_estimators=10, alphas=(0.05,)
+            ),
+            n_source_samples=120,
+            seed=0,
+        )
+        assert result.surface_rho > 0.8
+        assert result.scratch.records[-1].n_train == 30
+        assert result.transferred.records[-1].n_train == 30
+        ratios = result.improvement("0.05")
+        assert np.isfinite(ratios).all()

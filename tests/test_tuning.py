@@ -1,0 +1,115 @@
+"""Tests for model-based tuning (Fig. 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.forest import RandomForestRegressor
+from repro.tuning import TuningResult, model_based_tuning, surrogate_annotator
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return get_benchmark("mvt")
+
+
+@pytest.fixture(scope="module")
+def candidates(bench):
+    rng = np.random.default_rng(3)
+    return bench.space.sample_unique_encoded(rng, 200)
+
+
+class TestModelBasedTuning:
+    def test_best_so_far_never_worsens(self, bench, candidates):
+        res = model_based_tuning(
+            bench,
+            candidates,
+            annotate=lambda X: bench.measure_encoded(X, 0),
+            annotator_name="truth",
+            n_iterations=15,
+            seed=0,
+        )
+        assert (np.diff(res.best_true_time) <= 1e-12).all()
+
+    def test_trace_lengths(self, bench, candidates):
+        res = model_based_tuning(
+            bench,
+            candidates,
+            annotate=lambda X: bench.measure_encoded(X, 0),
+            annotator_name="truth",
+            n_iterations=10,
+            n_init=5,
+            seed=0,
+        )
+        assert len(res.n_evaluated) == len(res.best_true_time) == 10
+        assert res.n_evaluated[0] == 6
+        assert res.n_evaluated[-1] == 15
+
+    def test_tuning_beats_first_random_draws(self, bench, candidates):
+        """Model-based search should end at or below its starting point and
+        find something clearly better than the candidate median."""
+        res = model_based_tuning(
+            bench,
+            candidates,
+            annotate=lambda X: bench.measure_encoded(X, 1),
+            annotator_name="truth",
+            n_iterations=30,
+            seed=1,
+        )
+        truth = bench.true_times_encoded(candidates)
+        assert res.final_best() <= res.best_true_time[0]
+        assert res.final_best() < np.median(truth)
+
+    def test_surrogate_annotator_wraps_predict(self, bench, candidates, rng):
+        y = bench.measure_encoded(candidates, rng)
+        model = RandomForestRegressor(n_estimators=10, seed=0).fit(candidates, y)
+        ann = surrogate_annotator(model)
+        assert np.allclose(ann(candidates[:5]), model.predict(candidates[:5]))
+
+    def test_surrogate_tuning_runs_without_measuring(self, bench, candidates, rng):
+        """With a surrogate annotator the oracle is never called."""
+        y = bench.measure_encoded(candidates, rng)
+        model = RandomForestRegressor(n_estimators=10, seed=0).fit(candidates, y)
+        res = model_based_tuning(
+            bench,
+            candidates,
+            annotate=surrogate_annotator(model),
+            annotator_name="surrogate",
+            n_iterations=10,
+            seed=2,
+        )
+        assert isinstance(res, TuningResult)
+        assert res.final_best() > 0
+
+    def test_candidate_set_too_small(self, bench, candidates):
+        with pytest.raises(ValueError, match="too small"):
+            model_based_tuning(
+                bench,
+                candidates[:10],
+                annotate=lambda X: bench.measure_encoded(X, 0),
+                annotator_name="truth",
+                n_iterations=10,
+                n_init=5,
+            )
+
+    def test_bad_iterations(self, bench, candidates):
+        with pytest.raises(ValueError):
+            model_based_tuning(
+                bench,
+                candidates,
+                annotate=lambda X: bench.measure_encoded(X, 0),
+                annotator_name="truth",
+                n_iterations=0,
+            )
+
+    def test_best_config_is_among_annotated(self, bench, candidates):
+        res = model_based_tuning(
+            bench,
+            candidates,
+            annotate=lambda X: bench.measure_encoded(X, 0),
+            annotator_name="truth",
+            n_iterations=8,
+            seed=4,
+        )
+        rows = {row.tobytes() for row in candidates}
+        assert res.best_config.tobytes() in rows

@@ -1,0 +1,58 @@
+"""Tests for the uncertainty estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forest.uncertainty import across_tree_std, total_variance_std
+
+
+class TestAcrossTreeStd:
+    def test_identical_trees_zero(self):
+        P = np.tile(np.array([1.0, 2.0, 3.0]), (5, 1))
+        assert np.allclose(across_tree_std(P), 0.0)
+
+    def test_known_value(self):
+        P = np.array([[0.0, 1.0], [2.0, 3.0]])
+        assert np.allclose(across_tree_std(P), [1.0, 1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            across_tree_std(np.zeros(5))
+
+
+class TestTotalVarianceStd:
+    def test_reduces_to_across_tree_when_leaves_pure(self):
+        M = np.array([[1.0, 2.0], [3.0, 4.0]])
+        V = np.zeros_like(M)
+        assert np.allclose(total_variance_std(M, V), M.std(axis=0))
+
+    def test_adds_within_leaf_variance(self):
+        M = np.array([[1.0], [1.0]])  # trees agree
+        V = np.array([[4.0], [4.0]])  # but leaves are impure
+        assert total_variance_std(M, V)[0] == pytest.approx(2.0)
+
+    def test_law_of_total_variance(self):
+        M = np.array([[0.0], [2.0]])
+        V = np.array([[1.0], [3.0]])
+        expected = np.sqrt(np.mean([1.0, 3.0]) + np.var([0.0, 2.0]))
+        assert total_variance_std(M, V)[0] == pytest.approx(expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variance_std(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+@given(
+    n_trees=st.integers(2, 10),
+    n_samples=st.integers(1, 20),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_total_variance_dominates(n_trees, n_samples, seed):
+    """σ_total ≥ σ_across for any leaf statistics."""
+    rng = np.random.default_rng(seed)
+    M = rng.normal(size=(n_trees, n_samples))
+    V = rng.uniform(0, 2, size=(n_trees, n_samples))
+    assert (total_variance_std(M, V) >= across_tree_std(M) - 1e-12).all()

@@ -1,0 +1,100 @@
+"""Tests for the benchmark base class and registry."""
+
+import numpy as np
+import pytest
+
+from repro.noise import MeasurementProtocol
+from repro.space import IntegerParameter, ParameterSpace
+from repro.workloads import (
+    Benchmark,
+    all_benchmarks,
+    get_benchmark,
+    register_benchmark,
+)
+
+
+class _BrokenShape(Benchmark):
+    name = "broken-shape"
+
+    def __init__(self):
+        super().__init__(
+            ParameterSpace([IntegerParameter("x", 0, 9)]),
+            MeasurementProtocol(n_repeats=1, noise_sigma=0.0, outlier_prob=0.0),
+        )
+
+    def true_times_encoded(self, X):
+        return np.ones(len(X) + 1)  # wrong length
+
+
+class _BrokenSign(Benchmark):
+    name = "broken-sign"
+
+    def __init__(self):
+        super().__init__(
+            ParameterSpace([IntegerParameter("x", 0, 9)]),
+            MeasurementProtocol(n_repeats=1, noise_sigma=0.0, outlier_prob=0.0),
+        )
+
+    def true_times_encoded(self, X):
+        return np.zeros(len(X))  # non-positive times
+
+
+class _Good(Benchmark):
+    name = "good"
+
+    def __init__(self):
+        super().__init__(
+            ParameterSpace([IntegerParameter("x", 0, 9)]),
+            MeasurementProtocol(n_repeats=1, noise_sigma=0.0, outlier_prob=0.0),
+        )
+
+    def true_times_encoded(self, X):
+        return 1.0 + np.atleast_2d(X)[:, 0]
+
+
+class TestBenchmarkContract:
+    def test_measure_checks_oracle_shape(self, rng):
+        with pytest.raises(RuntimeError, match="shape"):
+            _BrokenShape().measure_encoded(np.zeros((3, 1)), rng)
+
+    def test_measure_checks_positivity(self, rng):
+        with pytest.raises(RuntimeError, match="non-positive"):
+            _BrokenSign().measure_encoded(np.zeros((3, 1)), rng)
+
+    def test_measure_single_config_dict(self, rng):
+        b = _Good()
+        t = b.measure({"x": 4}, rng)
+        assert t == pytest.approx(5.0)
+
+    def test_true_time_single_config(self):
+        assert _Good().true_time({"x": 9}) == pytest.approx(10.0)
+
+    def test_noise_free_protocol_returns_truth(self, rng):
+        b = _Good()
+        X = b.space.sample_encoded(rng, 10)
+        assert np.allclose(b.measure_encoded(X, rng), b.true_times_encoded(X))
+
+
+class TestRegistry:
+    def test_registry_inventory(self):
+        """12 paper kernels + kripke + hypre + 6 extra SPAPT problems."""
+        names = all_benchmarks()
+        assert len(names) == 20
+        assert names[12:14] == ("kripke", "hypre")
+        assert set(names[14:]) == {
+            "covariance", "fdtd", "seidel", "stencil3d", "tensor", "trmm",
+        }
+
+    def test_get_returns_fresh_instances(self):
+        a = get_benchmark("atax")
+        b = get_benchmark("atax")
+        assert a is not b
+        assert a.name == b.name == "atax"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_benchmark("doom3")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_benchmark("atax", _Good)
