@@ -8,6 +8,11 @@ reuses them too), and every regenerated panel is written to
 Scale selection: set ``REPRO_SCALE`` to ``smoke`` (default here; minutes
 for the full suite), ``quick`` (tens of minutes) or ``paper`` (the full
 Section III-D protocol).
+
+Execution: every driver routes its trials through :mod:`repro.engine`, so
+``REPRO_JOBS=8`` fans them over 8 worker processes (bit-identical results)
+and ``REPRO_CACHE_DIR=...`` persists completed trials — re-running the
+harness, or any figure CLI sharing the directory, skips finished work.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine import engine_from_env, use_engine
 from repro.experiments.aggregate import AveragedTrace
 from repro.experiments.config import ExperimentScale, scale_from_env
 from repro.experiments.runner import run_comparison
@@ -24,6 +30,13 @@ from repro.experiments.runner import run_comparison
 OUTPUT_DIR = Path(__file__).parent / "_output"
 
 _COMPARISON_CACHE: dict[tuple, dict[str, AveragedTrace]] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def engine_context():
+    """Install the env-configured engine (REPRO_JOBS / REPRO_CACHE_DIR)."""
+    with use_engine(engine_from_env()) as config:
+        yield config
 
 
 @pytest.fixture(scope="session")

@@ -31,6 +31,8 @@ Layers (bottom-up):
 * :mod:`repro.metrics` — RMSE@α (Eq. 2), cumulative cost (Eq. 3)
 * :mod:`repro.tuning` — model-based tuning (Fig. 8)
 * :mod:`repro.experiments` — figure/table drivers and the CLI
+* :mod:`repro.engine` — parallel trial scheduler with a persistent,
+  content-addressed result store (``--jobs`` / ``--cache-dir``)
 """
 
 from repro._version import __version__

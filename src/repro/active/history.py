@@ -92,9 +92,63 @@ class LearningHistory:
         return np.asarray(mu, dtype=np.float64), np.asarray(sigma, dtype=np.float64)
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form (used by the experiment persistence)."""
+        """Lossless JSON-serialisable form.
+
+        One schema serves both the engine's result store and ``dump_json``:
+        the summary arrays (``n_train``/``cumulative_cost``/``rmse``) keep
+        the historical shape external consumers read, while ``records``
+        carries every :class:`IterationRecord` field so
+        :meth:`from_dict` round-trips the trace exactly (JSON floats
+        round-trip IEEE doubles losslessly).
+        """
         return {
             "n_train": self.n_train.tolist(),
             "cumulative_cost": self.cumulative_cost.tolist(),
             "rmse": {k: self.rmse_series(k).tolist() for k in self.alpha_keys()},
+            "records": [
+                {
+                    "n_train": int(r.n_train),
+                    "cumulative_cost": float(r.cumulative_cost),
+                    "rmse": {k: float(v) for k, v in r.rmse.items()},
+                    "selected": [int(i) for i in r.selected],
+                    "selected_mu": [float(m) for m in r.selected_mu],
+                    "selected_sigma": [float(s) for s in r.selected_sigma],
+                }
+                for r in self.records
+            ],
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LearningHistory":
+        """Inverse of :meth:`to_dict`.
+
+        Accepts the full ``records`` schema as well as the legacy
+        summary-only form (rebuilt with empty selection fields), so older
+        ``dump_json`` artifacts remain loadable.
+        """
+        history = cls()
+        if "records" in d:
+            for rec in d["records"]:
+                history.append(
+                    IterationRecord(
+                        n_train=int(rec["n_train"]),
+                        cumulative_cost=float(rec["cumulative_cost"]),
+                        rmse={k: float(v) for k, v in rec["rmse"].items()},
+                        selected=tuple(int(i) for i in rec["selected"]),
+                        selected_mu=tuple(float(m) for m in rec["selected_mu"]),
+                        selected_sigma=tuple(
+                            float(s) for s in rec["selected_sigma"]
+                        ),
+                    )
+                )
+            return history
+        rmse = d.get("rmse", {})
+        for i, (n, cost) in enumerate(zip(d["n_train"], d["cumulative_cost"])):
+            history.append(
+                IterationRecord(
+                    n_train=int(n),
+                    cumulative_cost=float(cost),
+                    rmse={k: float(series[i]) for k, series in rmse.items()},
+                )
+            )
+        return history

@@ -10,9 +10,14 @@ Examples
     repro fig9                         # selection-distribution maps
     repro list                         # benchmarks and strategies
     repro all --scale smoke -o results # everything, persisted as JSON
+    repro fig2 --jobs 8 --cache-dir ~/.cache/repro   # parallel + resumable
 
 Scales: ``paper`` (the full Section III-D protocol), ``quick`` (default;
 minutes on one core), ``smoke`` (seconds, CI-sized).
+
+Every figure subcommand accepts ``--jobs N`` (fan trials over N worker
+processes; traces are bit-identical to serial) and ``--cache-dir DIR``
+(persist completed trials so re-runs and killed runs skip finished work).
 """
 
 from __future__ import annotations
@@ -49,6 +54,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
             "-o", "--out-dir", default=None, help="directory for JSON results"
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for trial execution "
+            "(default: $REPRO_JOBS or 1 = serial; results are bit-identical "
+            "at any N)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent trial store (default: $REPRO_CACHE_DIR); "
+            "re-runs skip completed trials and killed runs resume",
+        )
+        p.add_argument(
+            "--no-progress",
+            action="store_true",
+            help="suppress engine telemetry on stderr",
         )
         return p
 
@@ -109,6 +135,20 @@ def main(argv: "list[str] | None" = None) -> int:
         print(figures.tables_1_to_4().render())
         return 0
 
+    from repro.engine import EngineConfig, engine_from_env, use_engine
+
+    base = engine_from_env()
+    engine = EngineConfig(
+        jobs=args.jobs if args.jobs is not None else base.jobs,
+        cache_dir=args.cache_dir if args.cache_dir is not None else base.cache_dir,
+        progress=base.progress and not args.no_progress,
+    )
+    with use_engine(engine):
+        return _dispatch(args, figures)
+
+
+def _dispatch(args, figures) -> int:
+    """Run one figure subcommand under the installed engine context."""
     scale = SCALES[args.scale]
     out = args.out_dir
 

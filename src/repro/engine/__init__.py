@@ -1,0 +1,51 @@
+"""Parallel experiment execution engine with a persistent result store.
+
+The paper's protocol is embarrassingly parallel — every figure averages
+``n_trials`` independent active-learning runs per (benchmark, strategy) —
+and this subsystem turns that structure into throughput:
+
+* :mod:`repro.engine.jobs` — frozen :class:`TrialJob` specs with stable
+  content-address keys; each trial's RNG derives from its key, so results
+  are independent of scheduling order and worker placement;
+* :mod:`repro.engine.executor` — :func:`run_jobs` fans jobs over a process
+  pool (serial fallback for ``jobs=1`` and fork-less platforms) with
+  bit-identical traces either way;
+* :mod:`repro.engine.store` — :class:`ResultStore`, an on-disk JSON
+  artifact store keyed by job hash: re-runs skip completed trials and a
+  killed run resumes where it stopped;
+* :mod:`repro.engine.progress` — job/cache-hit telemetry on stderr;
+* :mod:`repro.engine.context` — ambient :class:`EngineConfig`
+  (``--jobs``/``--cache-dir`` from the CLI, ``REPRO_JOBS``/
+  ``REPRO_CACHE_DIR`` for the benchmark harness).
+
+The experiment runner (:mod:`repro.experiments.runner`) routes every
+trial through :func:`run_jobs`, so all CLI figures, benchmarks, and
+library callers get scheduling and caching for free.
+"""
+
+from repro.engine.context import (
+    EngineConfig,
+    current_engine,
+    engine_from_env,
+    use_engine,
+)
+from repro.engine.executor import execute_job, run_jobs
+from repro.engine.jobs import JOB_SCHEMA_VERSION, TrialJob, trial_jobs
+from repro.engine.progress import EngineStats, ProgressReporter
+from repro.engine.store import STORE_SCHEMA_VERSION, ResultStore
+
+__all__ = [
+    "EngineConfig",
+    "EngineStats",
+    "ProgressReporter",
+    "ResultStore",
+    "TrialJob",
+    "JOB_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "current_engine",
+    "engine_from_env",
+    "execute_job",
+    "run_jobs",
+    "trial_jobs",
+    "use_engine",
+]

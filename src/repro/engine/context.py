@@ -1,0 +1,73 @@
+"""Ambient engine configuration.
+
+The experiment layer is called from many entry points (CLI subcommands, the
+pytest benchmark harness, examples, library users), and threading
+``--jobs``/``--cache-dir`` through every figure-driver signature would leak
+scheduling concerns into the science code.  Instead, an
+:class:`EngineConfig` is installed as ambient context: entry points wrap
+their work in :func:`use_engine`, and :func:`~repro.experiments.runner`
+picks up :func:`current_engine` automatically.  A :mod:`contextvars` var
+keeps the setting task/thread-local, and the fallback reads the
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment variables so the benchmark
+harness scales without code changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig", "engine_from_env", "current_engine", "use_engine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the engine schedules and persists trial jobs.
+
+    ``jobs`` is the worker-process count (1 = serial in-process execution);
+    ``cache_dir`` enables the persistent result store; ``progress`` controls
+    stderr telemetry.
+    """
+
+    jobs: int = 1
+    cache_dir: "str | None" = None
+    progress: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+_CONTEXT: contextvars.ContextVar["EngineConfig | None"] = contextvars.ContextVar(
+    "repro_engine_config", default=None
+)
+
+
+def engine_from_env() -> EngineConfig:
+    """Engine settings from ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_PROGRESS``.
+
+    Unset variables fall back to the serial, store-less, telemetry-on
+    defaults; ``REPRO_PROGRESS=0`` silences stderr telemetry.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    progress = os.environ.get("REPRO_PROGRESS", "1") != "0"
+    return EngineConfig(jobs=jobs, cache_dir=cache_dir, progress=progress)
+
+
+def current_engine() -> EngineConfig:
+    """The ambient engine config: the innermost :func:`use_engine`, else env."""
+    config = _CONTEXT.get()
+    return config if config is not None else engine_from_env()
+
+
+@contextlib.contextmanager
+def use_engine(config: EngineConfig):
+    """Install ``config`` as the ambient engine for the enclosed block."""
+    token = _CONTEXT.set(config)
+    try:
+        yield config
+    finally:
+        _CONTEXT.reset(token)

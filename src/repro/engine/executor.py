@@ -1,0 +1,211 @@
+"""The trial scheduler: fan jobs out, reuse cached traces, stay bit-exact.
+
+:func:`run_jobs` is the engine's single entry point.  It deduplicates the
+requested :class:`~repro.engine.jobs.TrialJob` list by content key, satisfies
+whatever it can from the :class:`~repro.engine.store.ResultStore`, and
+executes the remainder — serially for ``jobs=1``, otherwise over a
+``ProcessPoolExecutor``.  Because every trial's randomness is derived from
+its job key (see :mod:`repro.engine.jobs`), the traces are bit-identical
+regardless of worker count, scheduling order, or whether a trial was
+executed now or loaded from a previous run.
+
+Worker-side, :func:`execute_job` memoises the per-benchmark data preparation
+(pool/test split and the pre-labeled ``y_test``) in a small per-process
+cache, so the split — which the paper's protocol shares across all
+strategies and trials of a benchmark — is paid once per process rather than
+once per trial.
+
+The pool prefers the ``fork`` start method (cheap, inherits the prepared
+caches' code pages) and falls back to ``spawn`` where fork is unavailable;
+if process pools cannot be created at all (restricted sandboxes), execution
+degrades gracefully to the serial path with identical results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+
+import multiprocessing
+
+from repro.active import LearningHistory
+from repro.engine.context import EngineConfig, current_engine
+from repro.engine.jobs import TrialJob
+from repro.engine.progress import EngineStats, ProgressReporter
+from repro.engine.store import ResultStore
+
+__all__ = ["run_jobs", "execute_job"]
+
+#: Per-process cache of prepared (benchmark, pool, X_test, y_test) tuples.
+#: Small and LRU-bounded: entries hold the pool matrix and measured test
+#: labels, which is exactly the state worth amortising across trials.
+_PREPARED: "OrderedDict[tuple, tuple]" = OrderedDict()
+_PREPARED_MAX = 4
+
+
+def _prepared(benchmark_name: str, scale, seed: int) -> tuple:
+    """Benchmark object plus pool/test split, memoised per process.
+
+    The derivation mirrors the historical runner exactly
+    (``derive(seed, "data", benchmark)`` feeding ``prepare_data``), so the
+    split for a given (benchmark, scale, seed) is identical in every
+    process and to what the serial code produced.
+    """
+    from repro.experiments.runner import prepare_data
+    from repro.rng import derive
+    from repro.workloads import get_benchmark
+
+    key = (benchmark_name, scale, int(seed))
+    entry = _PREPARED.get(key)
+    if entry is None:
+        benchmark = get_benchmark(benchmark_name)
+        data_rng = derive(seed, "data", benchmark_name)
+        pool, X_test, y_test = prepare_data(benchmark, scale, data_rng)
+        entry = (benchmark, pool, X_test, y_test)
+        _PREPARED[key] = entry
+        while len(_PREPARED) > _PREPARED_MAX:
+            _PREPARED.popitem(last=False)
+    else:
+        _PREPARED.move_to_end(key)
+    return entry
+
+
+def execute_job(job: TrialJob) -> LearningHistory:
+    """Run one trial job to completion in the current process."""
+    from repro.experiments.runner import run_single
+
+    benchmark, pool, X_test, y_test = _prepared(
+        job.benchmark, job.scale, job.seed
+    )
+    return run_single(
+        benchmark,
+        job.build_strategy(),
+        job.scale,
+        pool,
+        X_test,
+        y_test,
+        job.rng(),
+        alpha=job.alpha,
+        alphas=job.alphas,
+        config_overrides=job.overrides_dict(),
+    )
+
+
+def _execute_keyed(item: "tuple[str, TrialJob]") -> "tuple[str, LearningHistory]":
+    """Pool-friendly wrapper returning ``(key, history)`` pairs."""
+    key, job = item
+    return key, execute_job(job)
+
+
+def _mp_context():
+    """Prefer fork (fast, no re-import) but run anywhere spawn exists."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _run_serial(
+    pending: "list[tuple[str, TrialJob]]",
+    results: "dict[str, LearningHistory]",
+    store: "ResultStore | None",
+    reporter: ProgressReporter,
+) -> None:
+    for key, job in pending:
+        reporter.job_started(job.describe())
+        history = execute_job(job)
+        results[key] = history
+        if store is not None:
+            store.put(job, history)
+        reporter.job_finished(job.describe())
+
+
+def _run_parallel(
+    pending: "list[tuple[str, TrialJob]]",
+    results: "dict[str, LearningHistory]",
+    store: "ResultStore | None",
+    reporter: ProgressReporter,
+    n_workers: int,
+) -> "list[tuple[str, TrialJob]]":
+    """Execute over a process pool; returns jobs that still need running.
+
+    A pool that cannot be created or breaks mid-flight (sandboxed
+    semaphores, OOM-killed worker) leaves the unfinished jobs to the
+    caller's serial fallback instead of failing the experiment.
+    """
+    by_key = dict(pending)
+    remaining = dict(pending)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_mp_context()
+        ) as pool:
+            futures = {}
+            for key, job in pending:
+                futures[pool.submit(_execute_keyed, (key, job))] = key
+                reporter.job_started(job.describe())
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    key, history = fut.result()
+                    results[key] = history
+                    remaining.pop(key, None)
+                    if store is not None:
+                        store.put(by_key[key], history)
+                    reporter.job_finished(by_key[key].describe())
+    except (OSError, PermissionError, BrokenProcessPool, PicklingError):
+        # Pool infrastructure failed — not a job error.  Hand the
+        # unfinished jobs back for serial execution.
+        reporter.running = 0
+        return list(remaining.items())
+    return []
+
+
+def run_jobs(
+    jobs: "list[TrialJob]",
+    config: "EngineConfig | None" = None,
+    reporter: "ProgressReporter | None" = None,
+) -> "tuple[dict[str, LearningHistory], EngineStats]":
+    """Execute (or load) every job; returns ``(key → history, stats)``.
+
+    Duplicate specs in ``jobs`` are executed once.  ``config`` defaults to
+    the ambient :func:`~repro.engine.context.current_engine`; ``stats``
+    reports how many traces were freshly executed versus served from the
+    store (the resume/caching telemetry the CLI and tests assert on).
+    """
+    config = config if config is not None else current_engine()
+    unique: "OrderedDict[str, TrialJob]" = OrderedDict()
+    for job in jobs:
+        unique.setdefault(job.key(), job)
+    store = ResultStore(config.cache_dir) if config.cache_dir else None
+    own_reporter = reporter is None
+    if own_reporter:
+        reporter = ProgressReporter(total=len(unique), enabled=config.progress)
+
+    results: "dict[str, LearningHistory]" = {}
+    pending: "list[tuple[str, TrialJob]]" = []
+    for key, job in unique.items():
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            results[key] = cached
+            reporter.job_cached(job.describe())
+        else:
+            pending.append((key, job))
+
+    n_workers = min(config.jobs, len(pending))
+    if pending and n_workers > 1:
+        pending = _run_parallel(pending, results, store, reporter, n_workers)
+    if pending:
+        _run_serial(pending, results, store, reporter)
+
+    stats = EngineStats(
+        total=len(unique),
+        executed=reporter.executed,
+        cached=reporter.cached,
+        wall_time=reporter.elapsed(),
+    )
+    if own_reporter:
+        reporter.close()
+    return results, stats

@@ -1,0 +1,127 @@
+"""Lightweight progress and telemetry for engine runs.
+
+The reporter counts job lifecycle events (queued → running → done, plus
+cache hits) and renders a throttled one-line status to stderr::
+
+    [engine] 12/40 done (3 cached, 4 running) | 2.1 jobs/s
+
+It is deliberately dependency-free and cheap: a handful of integer counters
+and a monotonic clock, so it can wrap the hot scheduling loop without
+perturbing timings.  The final summary line always prints (even with
+throttling), making cache-hit counts visible in CI logs — the acceptance
+signal for resume semantics.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ProgressReporter", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Summary telemetry of one :func:`~repro.engine.executor.run_jobs` call."""
+
+    total: int
+    executed: int
+    cached: int
+    wall_time: float
+
+    @property
+    def jobs_per_sec(self) -> float:
+        """Completed jobs (executed + cached) per wall-clock second."""
+        if self.wall_time <= 0:
+            return float("inf") if self.total else 0.0
+        return self.total / self.wall_time
+
+
+@dataclass
+class ProgressReporter:
+    """Counts engine events and renders throttled status lines to stderr."""
+
+    total: int = 0
+    enabled: bool = True
+    stream: object = None
+    #: Minimum seconds between status lines (the summary is never throttled).
+    min_interval: float = 0.5
+
+    done: int = field(default=0, init=False)
+    cached: int = field(default=0, init=False)
+    executed: int = field(default=0, init=False)
+    running: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.stream is None:
+            self.stream = sys.stderr
+        self._t0 = time.monotonic()
+        self._last_emit = 0.0
+
+    # -- events ------------------------------------------------------------
+    def job_started(self, label: str = "") -> None:
+        """A job was handed to a worker (or the serial loop)."""
+        self.running += 1
+        self._emit(f"running {label}" if label else None)
+
+    def job_cached(self, label: str = "") -> None:
+        """A job was satisfied from the result store without executing."""
+        self.done += 1
+        self.cached += 1
+        self._emit(f"cache hit {label}" if label else None)
+
+    def job_finished(self, label: str = "") -> None:
+        """A job finished executing (its trace is now available)."""
+        self.running = max(0, self.running - 1)
+        self.done += 1
+        self.executed += 1
+        self._emit(f"finished {label}" if label else None)
+
+    # -- rendering ---------------------------------------------------------
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the reporter was created."""
+        return time.monotonic() - self._t0
+
+    def stats(self) -> EngineStats:
+        """Snapshot of the counters as :class:`EngineStats`."""
+        return EngineStats(
+            total=self.done,
+            executed=self.executed,
+            cached=self.cached,
+            wall_time=self.elapsed(),
+        )
+
+    def _line(self, note: "str | None" = None) -> str:
+        elapsed = max(self.elapsed(), 1e-9)
+        rate = self.done / elapsed
+        line = (
+            f"[engine] {self.done}/{self.total} done "
+            f"({self.cached} cached, {self.running} running) | "
+            f"{rate:.1f} jobs/s"
+        )
+        if note:
+            line += f" | {note}"
+        return line
+
+    def _emit(self, note: "str | None" = None) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        print(self._line(note), file=self.stream, flush=True)
+
+    def close(self) -> None:
+        """Print the final (never-throttled) summary line."""
+        if not self.enabled:
+            return
+        stats = self.stats()
+        print(
+            f"[engine] completed {stats.total} jobs in {stats.wall_time:.1f}s"
+            f" — executed {stats.executed}, cache hits {stats.cached}"
+            f" ({stats.jobs_per_sec:.1f} jobs/s)",
+            file=self.stream,
+            flush=True,
+        )

@@ -1,0 +1,103 @@
+"""On-disk artifact store for completed trial traces.
+
+Each finished :class:`~repro.engine.jobs.TrialJob` persists its
+:class:`~repro.active.LearningHistory` as one JSON file named by the job's
+content-address key.  Because the key covers the entire job spec (benchmark,
+strategy, scale, seed, trial, α, overrides), a lookup can never return a
+stale or mismatched trace; re-running any figure with the same ``--cache-dir``
+skips every already-completed trial, and a killed run resumes where it
+stopped — whatever finished before the kill is on disk.
+
+Writes go through a temp-file + :func:`os.replace` rename so a crash mid-write
+leaves no corrupt entry; unreadable or schema-mismatched files are treated as
+cache misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.active import LearningHistory
+from repro.engine.jobs import JOB_SCHEMA_VERSION, TrialJob
+
+__all__ = ["ResultStore", "STORE_SCHEMA_VERSION"]
+
+#: Version of the artifact layout; mismatched files are ignored (cache miss).
+STORE_SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """A directory of ``<job-key>.json`` trace artifacts."""
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        """Artifact path for a job key."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> "LearningHistory | None":
+        """Load the stored trace for ``key``; ``None`` on miss or bad file."""
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        try:
+            if payload.get("store_schema") != STORE_SCHEMA_VERSION:
+                return None
+            if payload.get("job", {}).get("schema") != JOB_SCHEMA_VERSION:
+                return None
+            return LearningHistory.from_dict(payload["history"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, job: TrialJob, history: LearningHistory) -> Path:
+        """Persist one completed trial atomically and return its path.
+
+        The artifact embeds the job spec alongside the trace, so a store
+        directory is self-describing (auditable without the producing code).
+        """
+        payload = {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "key": job.key(),
+            "job": job.spec(),
+            "history": history.to_dict(),
+        }
+        path = self.path(job.key())
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def keys(self) -> "list[str]":
+        """Keys of every stored artifact (sorted, excludes temp files)."""
+        return sorted(
+            p.stem for p in self.root.glob("*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        """Cheap existence probe (does not validate the artifact)."""
+        return self.path(key).exists()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r}, {len(self)} artifacts)"

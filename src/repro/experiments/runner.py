@@ -1,4 +1,10 @@
-"""Executing the paper's protocol: data preparation and repeated runs."""
+"""Executing the paper's protocol: data preparation and repeated runs.
+
+:func:`prepare_data` and :func:`run_single` are the process-local
+primitives (one split, one Algorithm 1 run); :func:`run_strategy` and
+:func:`run_comparison` schedule repeated trials through the execution
+engine (:mod:`repro.engine`) for parallelism, caching, and resume.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +13,10 @@ import numpy as np
 from repro.active import ActiveLearner, LearnerConfig, LearningHistory
 from repro.experiments.aggregate import AveragedTrace, average_histories
 from repro.experiments.config import ExperimentScale
-from repro.rng import derive, spawn
+from repro.rng import derive
 from repro.sampling import make_strategy
 from repro.space import DataPool
-from repro.workloads import Benchmark, get_benchmark
+from repro.workloads import Benchmark
 
 __all__ = ["prepare_data", "run_single", "run_strategy", "run_comparison"]
 
@@ -122,32 +128,32 @@ def run_strategy(
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,
     config_overrides: "dict | None" = None,
     label: "str | None" = None,
+    engine: "object | None" = None,
 ) -> AveragedTrace:
-    """Repeat one strategy ``scale.n_trials`` times and average (Section IV)."""
-    benchmark = get_benchmark(benchmark_name)
-    data_rng = derive(seed, "data", benchmark_name)
-    pool, X_test, y_test = prepare_data(benchmark, scale, data_rng)
+    """Repeat one strategy ``scale.n_trials`` times and average (Section IV).
+
+    Trials are scheduled through :mod:`repro.engine`: each becomes a
+    content-addressed :class:`~repro.engine.jobs.TrialJob` whose RNG derives
+    from the job key, so the averaged trace is bit-identical whether the
+    trials run serially, across a process pool, or partially from the
+    result store.  ``engine`` overrides the ambient
+    :func:`~repro.engine.context.current_engine` configuration.
+    """
+    from repro.engine import run_jobs, trial_jobs
+
     if label is None:
         label = strategy_name if isinstance(strategy_name, str) else strategy_name.name
-    histories = []
-    for trial_rng in spawn(
-        derive(seed, "trials", benchmark_name, label), scale.n_trials
-    ):
-        histories.append(
-            run_single(
-                benchmark,
-                strategy_name,
-                scale,
-                pool,
-                X_test,
-                y_test,
-                trial_rng,
-                alpha=alpha,
-                alphas=alphas,
-                config_overrides=config_overrides,
-            )
-        )
-    return average_histories(label, histories)
+    jobs = trial_jobs(
+        benchmark_name,
+        strategy_name,
+        scale,
+        seed=seed,
+        alpha=alpha,
+        alphas=alphas,
+        config_overrides=config_overrides,
+    )
+    results, _ = run_jobs(jobs, config=engine)
+    return average_histories(label, [results[j.key()] for j in jobs])
 
 
 def run_comparison(
@@ -157,11 +163,27 @@ def run_comparison(
     seed: int = 0,
     alpha: float = 0.05,
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    engine: "object | None" = None,
 ) -> dict[str, AveragedTrace]:
-    """All strategies on one benchmark with a shared pool/test split."""
-    return {
-        s: run_strategy(
+    """All strategies on one benchmark with a shared pool/test split.
+
+    Every (strategy, trial) job is submitted in a single engine batch, so
+    parallelism spans strategies — not just trials within one strategy —
+    and the pool/test split (including the up-front ``y_test`` measurement)
+    is prepared once per process per benchmark rather than once per
+    strategy, via the executor's prepared-data cache.
+    """
+    from repro.engine import run_jobs, trial_jobs
+
+    per_strategy = {
+        s: trial_jobs(
             benchmark_name, s, scale, seed=seed, alpha=alpha, alphas=alphas
         )
         for s in strategy_names
+    }
+    all_jobs = [job for jobs in per_strategy.values() for job in jobs]
+    results, _ = run_jobs(all_jobs, config=engine)
+    return {
+        s: average_histories(s, [results[j.key()] for j in jobs])
+        for s, jobs in per_strategy.items()
     }

@@ -69,3 +69,59 @@ class TestCommands:
         payload = json.loads((tmp_path / "fig2.json").read_text())
         assert "mvt" in payload["data"]
         assert (tmp_path / "fig3.json").exists()
+
+    def _patch_tiny_smoke(self, monkeypatch):
+        from repro.cli import SCALES
+        from repro.experiments.config import ExperimentScale
+
+        monkeypatch.setitem(
+            SCALES,
+            "smoke",
+            ExperimentScale(
+                name="smoke",
+                pool_size=150,
+                test_size=120,
+                n_init=8,
+                n_max=14,
+                n_trials=2,
+                eval_every=6,
+                n_estimators=6,
+            ),
+        )
+
+    def test_jobs_flag_preserves_results_and_cache_resumes(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """--jobs 2 output matches --jobs 1 byte-for-byte, and a rerun with
+        the same --cache-dir executes nothing (all cache hits)."""
+        self._patch_tiny_smoke(monkeypatch)
+        cache = tmp_path / "cache"
+        common = ["fig2", "--scale", "smoke", "--kernels", "mvt"]
+
+        assert main([*common, "--jobs", "1", "-o", str(tmp_path / "serial")]) == 0
+        capsys.readouterr()
+        assert main(
+            [*common, "--jobs", "2", "--cache-dir", str(cache),
+             "-o", str(tmp_path / "parallel")]
+        ) == 0
+        first_err = capsys.readouterr().err
+        assert "cache hits 0" in first_err
+
+        serial = (tmp_path / "serial" / "fig2.json").read_bytes()
+        parallel = (tmp_path / "parallel" / "fig2.json").read_bytes()
+        assert serial == parallel
+
+        assert main(
+            [*common, "--jobs", "2", "--cache-dir", str(cache),
+             "-o", str(tmp_path / "resumed")]
+        ) == 0
+        second_err = capsys.readouterr().err
+        assert "executed 0" in second_err
+        assert (tmp_path / "resumed" / "fig2.json").read_bytes() == serial
+
+    def test_no_progress_silences_telemetry(self, capsys, tmp_path, monkeypatch):
+        self._patch_tiny_smoke(monkeypatch)
+        assert main(
+            ["fig2", "--scale", "smoke", "--kernels", "mvt", "--no-progress"]
+        ) == 0
+        assert "[engine]" not in capsys.readouterr().err
