@@ -19,7 +19,7 @@ from repro.active.history import IterationRecord, LearningHistory
 from repro.forest import RandomForestRegressor
 from repro.metrics import cumulative_cost, top_alpha_rmse
 from repro.rng import as_generator
-from repro.sampling.base import SamplingStrategy
+from repro.sampling.base import SamplingStrategy, consume_selection_stats
 from repro.space import DataPool
 
 __all__ = ["LearnerConfig", "ActiveLearner"]
@@ -211,7 +211,15 @@ class ActiveLearner:
             )
             Xb = self.pool.take(batch_idx)
             # Selection-time model view of the batch (what Fig. 9 plots).
-            mu_b, sigma_b = self.model.predict_with_uncertainty(Xb)
+            # Score-based strategies stash the (mu, sigma) they just ranked;
+            # reuse those instead of re-predicting the batch (bit-identical —
+            # they are the same floats).  Model-free or filter strategies
+            # stash nothing, so fall back to a fresh prediction.
+            stats = consume_selection_stats(self.strategy, batch_idx)
+            if stats is None:
+                mu_b, sigma_b = self.model.predict_with_uncertainty(Xb)
+            else:
+                mu_b, sigma_b = stats
             yb = np.asarray(self.evaluate(Xb), dtype=np.float64)
             if yb.shape != (len(Xb),):
                 raise RuntimeError(

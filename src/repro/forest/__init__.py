@@ -12,18 +12,22 @@ subpackage implements the full stack:
   construction and vectorised prediction,
 * :mod:`repro.forest.forest` — bagging ensemble with random feature
   subspaces, predictive mean / uncertainty, and warm partial updates,
+* :mod:`repro.forest.packed` — all trees concatenated into one SoA,
+  traversed for every (row, tree) lane in a single vectorised pass,
 * :mod:`repro.forest.uncertainty` — across-tree std (the paper's estimator)
   and a law-of-total-variance alternative (ablation target),
 * :mod:`repro.forest.importance` — impurity and permutation importances.
 """
 
 from repro.forest.tree import RegressionTree
+from repro.forest.packed import PackedForest
 from repro.forest.forest import RandomForestRegressor
 from repro.forest.importance import permutation_importance
 from repro.forest.serialize import load_forest, save_forest
 
 __all__ = [
     "RegressionTree",
+    "PackedForest",
     "RandomForestRegressor",
     "permutation_importance",
     "save_forest",

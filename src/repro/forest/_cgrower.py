@@ -1,0 +1,130 @@
+"""Build and load the optional C split kernel for presorted tree growth.
+
+The kernel (``_grower.c``) is a plain shared library — no Python or numpy
+headers — compiled on demand with whatever C compiler the host provides
+and driven through :mod:`ctypes`.  Everything is best-effort: missing
+compiler, failed build, unwritable build directories, or the
+``REPRO_PURE_NUMPY`` environment variable all make :func:`load` return
+``None``, and tree growth falls back to the pure-numpy presorted path
+(bit-identical, just slower).
+
+Build artefacts are cached under ``_cbuild/`` next to this file (or the
+system temp directory when the package is not writable), keyed by a hash
+of the C source and compiler flags so stale libraries are never reused.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["load", "Ctx"]
+
+_SOURCE = Path(__file__).with_name("_grower.c")
+
+#: -ffp-contract=off is load-bearing: FMA contraction would fuse the
+#: kernel's multiply/add chains into differently-rounded operations and
+#: break bit-identity with the numpy reference.
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+_lib: "ctypes.CDLL | None" = None
+_attempted = False
+
+
+class Ctx(ctypes.Structure):
+    """Per-tree constants shared by every kernel call (mirrors ``repro_ctx``)."""
+
+    _fields_ = [
+        ("XT", ctypes.c_void_p),
+        ("y", ctypes.c_void_p),
+        ("inleft", ctypes.c_void_p),
+        ("out_d", ctypes.c_void_p),
+        ("d", ctypes.c_int64),
+        ("n", ctypes.c_int64),
+        ("msl", ctypes.c_int64),
+    ]
+
+
+def _configure(lib: ctypes.CDLL) -> None:
+    ip = ctypes.c_int64
+    lib.repro_node.restype = ctypes.c_int64
+    lib.repro_node.argtypes = [
+        ctypes.POINTER(Ctx),  # ctx
+        ctypes.c_void_p,      # order
+        ip,                   # stride
+        ip,                   # k
+        ctypes.c_void_p,      # feats
+        ip,                   # m
+        ctypes.c_void_p,      # childbuf
+    ]
+    lib.repro_traverse.restype = None
+    lib.repro_traverse.argtypes = [
+        ctypes.c_void_p,  # feature
+        ctypes.c_void_p,  # threshold
+        ctypes.c_void_p,  # left
+        ctypes.c_void_p,  # right
+        ctypes.c_void_p,  # X
+        ip,               # n_rows
+        ip,               # d
+        ctypes.c_void_p,  # roots
+        ip,               # T
+        ctypes.c_void_p,  # out
+    ]
+
+
+def _build(so_path: Path) -> None:
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    # Unique temp name + atomic rename so concurrent builders cannot load a
+    # half-written library.
+    tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
+    for compiler in ("cc", "gcc", "clang"):
+        try:
+            subprocess.run(
+                [compiler, *_CFLAGS, "-o", str(tmp), str(_SOURCE)],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, so_path)
+            return
+        except (OSError, subprocess.SubprocessError):
+            tmp.unlink(missing_ok=True)
+            continue
+    raise RuntimeError("no working C compiler found")
+
+
+def load() -> "ctypes.CDLL | None":
+    """Return the configured kernel library, or ``None`` when unavailable."""
+    global _lib, _attempted
+    if _attempted:
+        return _lib
+    _attempted = True
+    if os.environ.get("REPRO_PURE_NUMPY"):
+        return None
+    if ctypes.sizeof(ctypes.c_void_p) != 8:
+        return None  # the kernel assumes LP64 (numpy intp == int64)
+    try:
+        source = _SOURCE.read_text()
+    except OSError:
+        return None
+    tag = hashlib.sha256((source + " ".join(_CFLAGS)).encode()).hexdigest()[:16]
+    candidates = (
+        Path(__file__).parent / "_cbuild",
+        Path(tempfile.gettempdir()) / "repro-cbuild",
+    )
+    for base in candidates:
+        so_path = base / f"grower-{tag}.so"
+        try:
+            if not so_path.exists():
+                _build(so_path)
+            lib = ctypes.CDLL(str(so_path))
+            _configure(lib)
+            _lib = lib
+            return _lib
+        except Exception:
+            continue
+    return None

@@ -1,0 +1,201 @@
+/* Optional C hot path for presorted CART growth.
+ *
+ * Compiled on demand by repro/forest/_cgrower.py (plain `cc -shared`, no
+ * Python headers needed) and driven through ctypes from
+ * RegressionTree._grow_presorted.  The kernel only performs comparisons,
+ * sequential prefix sums, and elementwise double arithmetic written in the
+ * exact operand order of the numpy reference implementation
+ * (repro/forest/splitter.py), so its results are bit-identical:
+ *
+ *  - prefix sums run left-to-right exactly like np.cumsum (which is a
+ *    strict sequential fold, never pairwise);
+ *  - the combined-SSE expression evaluates each elementwise operation in
+ *    the same order as the reference ufunc chain, and the build flags
+ *    forbid FMA contraction (-ffp-contract=off) so no two operations are
+ *    fused into a differently-rounded one;
+ *  - the argmin scan visits candidates position-major (position, then
+ *    feature column) and keeps the first minimum, matching np.argmin over
+ *    the reference (n_candidates, m) layout, including tie-breaks.
+ *
+ * Anything whose bit pattern depends on numpy internals that C cannot
+ * cheaply replicate stays in Python: per-node target sums (np.sum's
+ * pairwise/SIMD association, np.dot's BLAS kernel), the RNG feature draws,
+ * and the final gain test (x ** 2 is not always x * x).  The kernel
+ * therefore reports the winning column's sequential totals back to Python,
+ * which makes the gain decision; the partition is performed optimistically
+ * in the same call (its output is simply discarded on a failed gain test,
+ * which costs nothing but a little wasted work on would-be leaves).
+ */
+
+#include <stdint.h>
+
+typedef int64_t ip; /* numpy intp on LP64 platforms */
+
+typedef struct {
+    const double *XT;      /* (d, n) row-major: XT[f*n + i] = X[i, f] */
+    const double *y;       /* (n,) training targets */
+    unsigned char *inleft; /* (n,) zeroed scratch for stable partitioning */
+    double *out_d;         /* [threshold, best_combined, total_sum, total_sq] */
+    ip d;                  /* number of features (order has d+1 rows) */
+    ip n;                  /* full training-sample size */
+    ip msl;                /* min_samples_leaf */
+} repro_ctx;
+
+/* Packed-forest traversal: route every (tree, row) lane to its leaf.
+ *
+ * `feature`/`threshold`/`left`/`right` are the packed SoA node arrays
+ * (global child ids, feature < 0 marks a leaf), `X` is the row-major
+ * (n_rows, d) query matrix, `roots` lists the root node id of each of the
+ * T trees to traverse.  Writes the global leaf id of lane (t, i) to
+ * out[t*n_rows + i].  Pure comparisons — bit-identical to the numpy
+ * level-synchronous loop by construction.
+ */
+void repro_traverse(const ip *feature, const double *threshold,
+                    const ip *left, const ip *right, const double *X,
+                    ip n_rows, ip d, const ip *roots, ip T, ip *out)
+{
+    for (ip t = 0; t < T; t++) {
+        const ip root = roots[t];
+        ip *out_t = out + t * n_rows;
+        for (ip i = 0; i < n_rows; i++) {
+            const double *row = X + i * d;
+            ip node = root;
+            ip f = feature[node];
+            while (f >= 0) {
+                node = (row[f] <= threshold[node]) ? left[node] : right[node];
+                f = feature[node];
+            }
+            out_t[i] = node;
+        }
+    }
+}
+
+/* Best-split search + stable partition for one node.
+ *
+ * `order` holds d+1 rows of `stride` elements each; row f lists the node's
+ * k sample indices in ascending X[:, f] order, and row d lists them in
+ * ascending-id order.  `feats` selects the m candidate rows.
+ *
+ * Returns -1 when no value-boundary candidate exists.  Otherwise fills
+ * ctx->out_d, and returns (feature << 32) | n_left where n_left counts
+ * X[:, feature] <= threshold over the node.  When 0 < n_left < k each row
+ * of `childbuf` (row stride k) is written as [left block | right block],
+ * preserving within-row order; degenerate masks leave childbuf untouched.
+ */
+long repro_node(const repro_ctx *ctx, const ip *order, ip stride, ip k,
+                const ip *feats, ip m, ip *childbuf)
+{
+    const double *XT = ctx->XT;
+    const double *y = ctx->y;
+    const ip n = ctx->n;
+    const ip lo = ctx->msl;
+    const ip hi = k - ctx->msl;
+    int found = 0;
+    double best = 0.0;
+    ip best_pos = 0;
+    ip best_col = 0;
+    double best_tot_s = 0.0;
+    double best_tot_q = 0.0;
+
+    for (ip col = 0; col < m; col++) {
+        const ip f = feats[col];
+        const ip *ordf = order + f * stride;
+        const double *Xf = XT + f * n;
+
+        /* Sequential totals == csum[-1]/csq[-1] of the reference. */
+        double tot_s = 0.0;
+        double tot_q = 0.0;
+        for (ip i = 0; i < k; i++) {
+            const double yv = y[ordf[i]];
+            const double sq = yv * yv;
+            tot_s = tot_s + yv;
+            tot_q = tot_q + sq;
+        }
+
+        /* Stream the prefixes; candidate split position i keeps the first
+         * i sorted samples on the left and is valid only where the sorted
+         * feature value changes. */
+        double acc_s = 0.0;
+        double acc_q = 0.0;
+        for (ip i = 1; i <= hi; i++) {
+            const double yv = y[ordf[i - 1]];
+            const double sq = yv * yv;
+            acc_s = acc_s + yv;
+            acc_q = acc_q + sq;
+            if (i < lo)
+                continue;
+            const double f_lo = Xf[ordf[i - 1]];
+            const double f_hi = Xf[ordf[i]];
+            if (f_hi == f_lo)
+                continue;
+            /* combined = (q_l - s_l*s_l/n_l) + (q_r - s_r*s_r/n_r),
+             * evaluated in the reference's exact operation order. */
+            const double nl = (double)i;
+            const double nr = (double)k - nl;
+            double t = acc_s * acc_s;
+            t = t / nl;
+            const double left_sse = acc_q - t;
+            const double sr = tot_s - acc_s;
+            double u = sr * sr;
+            u = u / nr;
+            const double qr = tot_q - acc_q;
+            const double right_sse = qr - u;
+            const double comb = left_sse + right_sse;
+            const ip pos = i - lo;
+            /* First minimum in (position, column) order == np.argmin over
+             * the reference (n_candidates, m) block. */
+            if (!found || comb < best || (comb == best && pos < best_pos)) {
+                found = 1;
+                best = comb;
+                best_pos = pos;
+                best_col = col;
+                best_tot_s = tot_s;
+                best_tot_q = tot_q;
+            }
+        }
+    }
+    if (!found)
+        return -1;
+
+    const ip f = feats[best_col];
+    const ip *ordf = order + f * stride;
+    const double *Xf = XT + f * n;
+    const ip split_i = lo + best_pos;
+    const double lo_val = Xf[ordf[split_i - 1]];
+    const double hi_val = Xf[ordf[split_i]];
+    double thr = 0.5 * (lo_val + hi_val);
+    /* Midpoints of adjacent floats can collapse onto the upper value; the
+     * left side must satisfy value <= thr < upper value. */
+    if (!(lo_val <= thr && thr < hi_val))
+        thr = lo_val;
+    ctx->out_d[0] = thr;
+    ctx->out_d[1] = best;
+    ctx->out_d[2] = best_tot_s;
+    ctx->out_d[3] = best_tot_q;
+
+    const ip *idx = order + ctx->d * stride; /* row d: ascending sample ids */
+    ip n_left = 0;
+    for (ip i = 0; i < k; i++)
+        n_left += (Xf[idx[i]] <= thr);
+    if (n_left > 0 && n_left < k) {
+        unsigned char *inleft = ctx->inleft;
+        for (ip i = 0; i < k; i++)
+            inleft[idx[i]] = (Xf[idx[i]] <= thr);
+        const ip rows = ctx->d + 1;
+        for (ip r = 0; r < rows; r++) {
+            const ip *src = order + r * stride;
+            ip *dstl = childbuf + r * k;
+            ip *dstr = dstl + n_left;
+            for (ip i = 0; i < k; i++) {
+                const ip v = src[i];
+                if (inleft[v])
+                    *dstl++ = v;
+                else
+                    *dstr++ = v;
+            }
+        }
+        for (ip i = 0; i < k; i++)
+            inleft[idx[i]] = 0;
+    }
+    return (f << 32) | n_left;
+}

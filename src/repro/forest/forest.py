@@ -5,12 +5,22 @@ with a random feature subspace per split, mean prediction, and an
 uncertainty estimate used by every sampling strategy.  Also supports the
 "update partially" variant mentioned in Fig. 1 / Algorithm 1: instead of
 refitting all trees on the enlarged training set, refresh only a fraction.
+
+Inference goes through :class:`~repro.forest.packed.PackedForest`: the
+query matrix is validated once at the forest level and all trees are
+traversed in a single vectorised pass (the historical per-tree Python loop
+re-validated the same matrix once per tree).  For pool scoring the forest
+additionally keeps a per-tree prediction cache keyed by tree *generation*
+(:meth:`predict_with_uncertainty_pool`), so a partial ``update()`` only
+re-scores the refreshed trees.  All paths are bit-identical to the
+per-tree reference — ``tests/test_trace_equivalence.py`` pins this.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.forest.packed import PackedForest
 from repro.forest.tree import RegressionTree
 from repro.forest.uncertainty import across_tree_std, total_variance_std
 from repro.rng import as_generator
@@ -37,6 +47,9 @@ class RandomForestRegressor:
         ``"total_variance"`` (adds within-leaf variance).
     seed:
         Anything :func:`repro.rng.as_generator` accepts.
+    presort:
+        Passed to each tree: grow with the presorted splitter (default) or
+        the per-node argsort reference path (trace-equivalent, slower).
     """
 
     def __init__(
@@ -49,6 +62,7 @@ class RandomForestRegressor:
         bootstrap: bool = True,
         uncertainty: str = "across_trees",
         seed=None,
+        presort: bool = True,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -61,10 +75,17 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.uncertainty = uncertainty
+        self.presort = presort
         self.rng = as_generator(seed)
         self.trees_: list[RegressionTree] = []
         self._X: np.ndarray | None = None
         self._y: np.ndarray | None = None
+        self._packed: PackedForest | None = None
+        # Monotone per-tree generation stamps: bumped on every (re)fit of a
+        # tree, compared by the pool-score cache to find stale entries.
+        self._generation = 0
+        self._tree_gens = np.zeros(n_estimators, dtype=np.int64)
+        self._pool_cache: dict | None = None
 
     # -- fitting -----------------------------------------------------------
     def _fit_one_tree(self, X: np.ndarray, y: np.ndarray) -> RegressionTree:
@@ -74,6 +95,7 @@ class RandomForestRegressor:
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             rng=self.rng,
+            presort=self.presort,
         )
         if self.bootstrap:
             idx = self.rng.integers(0, len(X), size=len(X))
@@ -92,6 +114,9 @@ class RandomForestRegressor:
             raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
         self._X, self._y = X.copy(), y.copy()
         self.trees_ = [self._fit_one_tree(X, y) for _ in range(self.n_estimators)]
+        self._packed = None
+        self._generation += 1
+        self._tree_gens[:] = self._generation
         return self
 
     def update(
@@ -120,6 +145,9 @@ class RandomForestRegressor:
         which = self.rng.choice(self.n_estimators, size=n_refresh, replace=False)
         for t in which:
             self.trees_[t] = self._fit_one_tree(self._X, self._y)
+        self._packed = None
+        self._generation += 1
+        self._tree_gens[which] = self._generation
         return self
 
     # -- inference ------------------------------------------------------------
@@ -127,10 +155,27 @@ class RandomForestRegressor:
         if not self.trees_:
             raise RuntimeError("forest is not fitted; call fit() first")
 
+    def _check_query(self, X: np.ndarray) -> np.ndarray:
+        """Validate/convert a query matrix once for the whole ensemble."""
+        self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        n_features = self.trees_[0].n_features_
+        if X.shape[1] != n_features:
+            raise ValueError(
+                f"query has {X.shape[1]} features, forest was fit on {n_features}"
+            )
+        return X
+
+    def packed(self) -> PackedForest:
+        """The ensemble's packed SoA form, rebuilt lazily after (re)fits."""
+        self._require_fitted()
+        if self._packed is None:
+            self._packed = PackedForest.from_trees(self.trees_)
+        return self._packed
+
     def per_tree_predictions(self, X: np.ndarray) -> np.ndarray:
         """Stacked per-tree mean predictions, shape ``(n_trees, n_samples)``."""
-        self._require_fitted()
-        return np.stack([t.predict(X) for t in self.trees_], axis=0)
+        return self.packed().predict_all(self._check_query(X))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Forest prediction: mean over trees."""
@@ -141,19 +186,89 @@ class RandomForestRegressor:
 
         This is the (μ, σ) pair every sampling strategy of the paper scores.
         """
-        self._require_fitted()
+        X = self._check_query(X)
         if self.uncertainty == "across_trees":
-            P = self.per_tree_predictions(X)
+            P = self.packed().predict_all(X)
             return P.mean(axis=0), across_tree_std(P)
-        means = []
-        variances = []
-        for t in self.trees_:
-            m, v, _ = t.leaf_stats(X)
-            means.append(m)
-            variances.append(v)
-        M = np.stack(means, axis=0)
-        V = np.stack(variances, axis=0)
+        M, V, _ = self.packed().leaf_stats_all(X)
         return M.mean(axis=0), total_variance_std(M, V)
+
+    # -- pool scoring --------------------------------------------------------
+    def _pool_stats(self, pool_X: np.ndarray, rows: np.ndarray) -> tuple:
+        """Cached per-tree pool statistics sliced to ``rows``.
+
+        The cache holds per-tree predictions (and leaf variances when the
+        ``total_variance`` estimator needs them) for *every* row of
+        ``pool_X``, stamped with each tree's generation.  A partial
+        ``update()`` bumps only the refreshed trees' stamps, so the next
+        call re-scores just those trees; rows removed from the pool are
+        simply never requested again, so no eager invalidation is needed.
+        The cache is keyed by the identity of ``pool_X`` (the pool matrix
+        is immutable and lives for the whole run — see
+        :class:`repro.space.DataPool`).
+        """
+        need_v = self.uncertainty == "total_variance"
+        cache = self._pool_cache
+        if cache is None or cache["ref"] is not pool_X or (
+            need_v and cache["V"] is None
+        ):
+            Xv = self._check_query(pool_X)
+            packed = self.packed()
+            if need_v:
+                P, V, _ = packed.leaf_stats_all(Xv)
+            else:
+                P = packed.predict_all(Xv)
+                V = None
+            cache = self._pool_cache = {
+                "ref": pool_X,
+                "Xv": Xv,
+                "P": P,
+                "V": V,
+                "gens": self._tree_gens.copy(),
+            }
+        else:
+            stale = np.flatnonzero(cache["gens"] != self._tree_gens)
+            if stale.size:
+                packed = self.packed()
+                if need_v:
+                    leaves = packed._descend(
+                        cache["Xv"], packed.offsets[stale]
+                    )
+                    cache["P"][stale] = packed.value[leaves]
+                    cache["V"][stale] = packed.variance[leaves]
+                else:
+                    cache["P"][stale] = packed.predict_trees(cache["Xv"], stale)
+                cache["gens"] = self._tree_gens.copy()
+        # Fancy column-indexing yields an F-contiguous result, and axis-0
+        # reductions associate differently over a contiguous reduction axis
+        # (pairwise vs strided-sequential).  Force the C layout the uncached
+        # per_tree_predictions path produces so results stay bit-identical.
+        P = np.ascontiguousarray(cache["P"][:, rows])
+        V = np.ascontiguousarray(cache["V"][:, rows]) if need_v else None
+        return P, V
+
+    def predict_pool(self, pool_X: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """``predict(pool_X[rows])`` through the pool-score cache."""
+        self._require_fitted()
+        rows = np.asarray(rows, dtype=np.intp)
+        P, _ = self._pool_stats(pool_X, rows)
+        return P.mean(axis=0)
+
+    def predict_with_uncertainty_pool(
+        self, pool_X: np.ndarray, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``predict_with_uncertainty(pool_X[rows])`` through the cache.
+
+        Bit-identical to the uncached call: the cached per-tree values are
+        produced by the same packed traversal, and the mean/std reductions
+        act per column, so slicing rows does not change any result.
+        """
+        self._require_fitted()
+        rows = np.asarray(rows, dtype=np.intp)
+        P, V = self._pool_stats(pool_X, rows)
+        if self.uncertainty == "across_trees":
+            return P.mean(axis=0), across_tree_std(P)
+        return P.mean(axis=0), total_variance_std(P, V)
 
     def feature_importances(self) -> np.ndarray:
         """Normalised mean impurity importance across trees."""

@@ -3,8 +3,14 @@
 The paper's workflow separates model *construction* (expensive: real
 measurements) from model *use* (surrogate-annotated tuning, Fig. 8).  In
 practice those happen in different processes, so the fitted forest must
-survive a round trip to disk.  Trees are flat arrays already; the whole
-ensemble serialises to one compressed ``.npz``.
+survive a round trip to disk.
+
+Format version 2 stores the ensemble in its packed SoA form
+(:class:`~repro.forest.packed.PackedForest`): eight concatenated node
+arrays plus the per-tree offsets vector, instead of version 1's eight
+arrays *per tree*.  Loading re-slices the per-tree views lazily and hands
+the packed form straight to the forest, so a loaded model predicts without
+ever rebuilding it.  Version-1 files remain readable.
 """
 
 from __future__ import annotations
@@ -12,11 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forest.forest import RandomForestRegressor
+from repro.forest.packed import FIELDS, PackedForest
 from repro.forest.tree import RegressionTree
 
 __all__ = ["save_forest", "load_forest"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 _TREE_FIELDS = (
     "feature_",
@@ -31,23 +38,37 @@ _TREE_FIELDS = (
 
 
 def save_forest(model: RandomForestRegressor, path: str) -> None:
-    """Serialise a fitted forest to ``path`` (``.npz``)."""
+    """Serialise a fitted forest to ``path`` (``.npz``), packed form."""
     if not model.trees_:
         raise ValueError("cannot save an unfitted forest")
+    packed = model.packed()
     payload: dict[str, np.ndarray] = {
         "format_version": np.asarray(_FORMAT_VERSION),
-        "n_trees": np.asarray(len(model.trees_)),
-        "n_features": np.asarray(model.trees_[0].n_features_),
+        "n_features": np.asarray(packed.n_features),
         "uncertainty": np.asarray(model.uncertainty),
+        "offsets": packed.offsets,
     }
-    for i, tree in enumerate(model.trees_):
-        for field in _TREE_FIELDS:
-            payload[f"tree{i}_{field}"] = getattr(tree, field)
+    for name, arr in packed.arrays().items():
+        payload[f"packed_{name}"] = arr
     np.savez_compressed(path, **payload)
 
 
+def _load_v1(data) -> list[RegressionTree]:
+    n_trees = int(data["n_trees"])
+    n_features = int(data["n_features"])
+    trees = []
+    for i in range(n_trees):
+        tree = RegressionTree()
+        for field in _TREE_FIELDS:
+            setattr(tree, field, data[f"tree{i}_{field}"])
+        tree.n_features_ = n_features
+        tree._fitted = True
+        trees.append(tree)
+    return trees
+
+
 def load_forest(path: str) -> RandomForestRegressor:
-    """Load a forest saved by :func:`save_forest`.
+    """Load a forest saved by :func:`save_forest` (format 1 or 2).
 
     The returned model predicts (with uncertainty) but holds no training
     data, so it cannot be :meth:`~RandomForestRegressor.update`-d; refit
@@ -55,24 +76,27 @@ def load_forest(path: str) -> RandomForestRegressor:
     """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["format_version"])
+        uncertainty = str(data["uncertainty"])
+        if version == 1:
+            trees = _load_v1(data)
+            model = RandomForestRegressor(
+                n_estimators=len(trees), uncertainty=uncertainty
+            )
+            model.trees_ = trees
+            return model
         if version != _FORMAT_VERSION:
             raise ValueError(
                 f"unsupported forest format version {version} "
-                f"(this build reads {_FORMAT_VERSION})"
+                f"(this build reads <= {_FORMAT_VERSION})"
             )
-        n_trees = int(data["n_trees"])
-        n_features = int(data["n_features"])
-        uncertainty = str(data["uncertainty"])
-        model = RandomForestRegressor(
-            n_estimators=n_trees, uncertainty=uncertainty
+        packed = PackedForest(
+            *(data[f"packed_{name}"] for name in FIELDS),
+            offsets=data["offsets"],
+            n_features=int(data["n_features"]),
         )
-        trees = []
-        for i in range(n_trees):
-            tree = RegressionTree()
-            for field in _TREE_FIELDS:
-                setattr(tree, field, data[f"tree{i}_{field}"])
-            tree.n_features_ = n_features
-            tree._fitted = True
-            trees.append(tree)
-        model.trees_ = trees
+    model = RandomForestRegressor(
+        n_estimators=packed.n_trees, uncertainty=uncertainty
+    )
+    model.trees_ = packed.to_trees()
+    model._packed = packed
     return model

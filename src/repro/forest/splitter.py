@@ -7,10 +7,18 @@ criterion picks the threshold minimising
 
 Using prefix sums of ``y`` and ``y^2`` over the feature-sorted node this is
 :math:`SSE = \\sum y^2 - (\\sum y)^2 / n` per side.  The search is fully
-vectorised *across candidate features as well as thresholds*: one
-``argsort`` of the ``(n, m)`` candidate block and one prefix-sum sweep —
-this is the innermost hot loop of forest construction, called once per
-tree node.
+vectorised *across candidate features as well as thresholds* and comes in
+two entry points sharing one prefix-sum core:
+
+* :func:`best_split` — argsorts the ``(n, m)`` candidate block per call.
+  This is the reference implementation (kept for trace-equivalence testing
+  and for callers without presorted state).
+* :func:`best_split_presorted` — consumes per-feature index rows that the
+  tree grower argsorted *once per tree* and maintains through stable
+  partitioning, so the per-node cost drops from ``O(n m log n)`` to the
+  ``O(n m)`` gather + prefix-sum sweep.  Both produce bit-identical splits:
+  the sorted value/target sequences they feed the core are element-for-
+  element equal (stable ties broken by ascending sample index in both).
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from typing import NamedTuple
 
 import numpy as np
 
-__all__ = ["Split", "best_split", "sse"]
+__all__ = ["Split", "PresortSplit", "best_split", "best_split_presorted", "sse"]
 
 #: Gains below this are treated as numerical noise, not real splits.
 _MIN_GAIN = 1e-12
@@ -34,6 +42,18 @@ class Split(NamedTuple):
     left_mask: np.ndarray  # boolean mask over the node's samples
 
 
+class PresortSplit(NamedTuple):
+    """A split found by :func:`best_split_presorted`.
+
+    Carries no membership mask: the caller owns the sample bookkeeping and
+    partitions its index arrays itself (``X[:, feature] <= threshold``).
+    """
+
+    feature: int
+    threshold: float
+    gain: float
+
+
 def sse(y: np.ndarray) -> float:
     """Sum of squared errors of ``y`` around its mean (node impurity)."""
     y = np.asarray(y, dtype=np.float64)
@@ -42,37 +62,19 @@ def sse(y: np.ndarray) -> float:
     return float(np.sum(y * y) - (np.sum(y) ** 2) / len(y))
 
 
-def best_split(
-    X: np.ndarray,
-    y: np.ndarray,
-    feature_indices: np.ndarray,
-    min_samples_leaf: int = 1,
-) -> Split | None:
-    """Search ``feature_indices`` for the split with the largest SSE reduction.
+def _search_sorted_block(
+    Fs: np.ndarray, Ys: np.ndarray, min_samples_leaf: int
+) -> "tuple[int, float, float] | None":
+    """Prefix-sum split search over a feature-sorted block.
 
-    Returns ``None`` when no candidate feature admits a valid split
-    (constant features, too few samples, or no positive gain).  Candidate
-    thresholds are midpoints between consecutive distinct sorted values;
-    both children must keep at least ``min_samples_leaf`` samples.
+    ``Fs``/``Ys`` are ``(n, m)``: column ``j`` holds the node's feature
+    values / targets in ascending feature-``j`` order.  Returns
+    ``(column, threshold, gain)`` for the best valid split, or ``None``.
     """
-    X = np.asarray(X, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
-    feats = np.asarray(feature_indices, dtype=np.intp)
-    n = len(y)
-    if min_samples_leaf < 1:
-        raise ValueError("min_samples_leaf must be >= 1")
-    if n < 2 * min_samples_leaf or n < 2 or len(feats) == 0:
-        return None
-
+    n = len(Ys)
     lo, hi = min_samples_leaf, n - min_samples_leaf  # split position i: left=[0,i)
     if lo > hi:
         return None
-
-    F = X[:, feats]  # (n, m)
-    order = np.argsort(F, axis=0, kind="stable")
-    cols = np.arange(F.shape[1])[None, :]
-    Fs = F[order, cols]  # fancy-indexed take_along_axis (lower overhead)
-    Ys = y[order]  # (n, m): y re-sorted per feature column
 
     csum = np.cumsum(Ys, axis=0)
     csq = np.cumsum(Ys * Ys, axis=0)
@@ -113,9 +115,84 @@ def best_split(
     # floats: the left side must satisfy `value <= threshold < upper value`.
     if not (lo_val <= threshold < hi_val):
         threshold = lo_val
+    return col, float(threshold), float(gain)
+
+
+def best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int = 1,
+) -> Split | None:
+    """Search ``feature_indices`` for the split with the largest SSE reduction.
+
+    Returns ``None`` when no candidate feature admits a valid split
+    (constant features, too few samples, or no positive gain).  Candidate
+    thresholds are midpoints between consecutive distinct sorted values;
+    both children must keep at least ``min_samples_leaf`` samples.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    feats = np.asarray(feature_indices, dtype=np.intp)
+    n = len(y)
+    if min_samples_leaf < 1:
+        raise ValueError("min_samples_leaf must be >= 1")
+    if n < 2 * min_samples_leaf or n < 2 or len(feats) == 0:
+        return None
+
+    F = X[:, feats]  # (n, m)
+    order = np.argsort(F, axis=0, kind="stable")
+    cols = np.arange(F.shape[1])[None, :]
+    Fs = F[order, cols]  # fancy-indexed take_along_axis (lower overhead)
+    Ys = y[order]  # (n, m): y re-sorted per feature column
+
+    hit = _search_sorted_block(Fs, Ys, min_samples_leaf)
+    if hit is None:
+        return None
+    col, threshold, gain = hit
 
     feature = int(feats[col])
     left_mask = X[:, feature] <= threshold
     if not left_mask.any() or left_mask.all():
         return None
-    return Split(feature, float(threshold), float(gain), left_mask)
+    return Split(feature, threshold, gain, left_mask)
+
+
+def best_split_presorted(
+    X: np.ndarray,
+    y: np.ndarray,
+    sorted_idx: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int = 1,
+) -> PresortSplit | None:
+    """Split search over presorted per-feature index rows (no argsort).
+
+    Parameters
+    ----------
+    X, y:
+        The tree's *full* training sample; ``sorted_idx`` entries index
+        into these.
+    sorted_idx:
+        ``(n_features, k)`` — row ``f`` lists the node's ``k`` sample
+        indices in ascending ``X[:, f]`` order, ties broken by ascending
+        index (what a stable argsort of the full sample produces and
+        stable partitioning preserves).
+    feature_indices:
+        Candidate features for this node (rows of ``sorted_idx`` to search).
+    """
+    feats = np.asarray(feature_indices, dtype=np.intp)
+    k = sorted_idx.shape[1]
+    if min_samples_leaf < 1:
+        raise ValueError("min_samples_leaf must be >= 1")
+    if k < 2 * min_samples_leaf or k < 2 or len(feats) == 0:
+        return None
+
+    sub = sorted_idx[feats]  # (m, k) sample indices, feature-major
+    Fs = X[sub.T, feats[None, :]]  # (k, m) sorted feature values
+    Ys = y[sub.T]  # (k, m) targets in per-feature sorted order
+
+    hit = _search_sorted_block(Fs, Ys, min_samples_leaf)
+    if hit is None:
+        return None
+    col, threshold, gain = hit
+    return PresortSplit(int(feats[col]), threshold, gain)

@@ -8,7 +8,55 @@ import numpy as np
 
 from repro.space import DataPool
 
-__all__ = ["SamplingStrategy", "ModelFreeStrategy", "top_k_by_score"]
+__all__ = [
+    "SamplingStrategy",
+    "ModelFreeStrategy",
+    "top_k_by_score",
+    "pool_mu_sigma",
+    "pool_mu",
+    "consume_selection_stats",
+]
+
+
+def pool_mu_sigma(model, pool: DataPool, available: np.ndarray):
+    """``(mu, sigma)`` for the pool rows ``available``.
+
+    Routes through the model's pool-aware cached scorer when it has one
+    (:meth:`repro.forest.RandomForestRegressor.predict_with_uncertainty_pool`
+    — bit-identical to the plain call, but reuses per-tree pool scores
+    across iterations under partial retraining) and falls back to the plain
+    ``predict_with_uncertainty`` for models without one (e.g. the GP).
+    """
+    scorer = getattr(model, "predict_with_uncertainty_pool", None)
+    if scorer is not None:
+        return scorer(pool.X, available)
+    return model.predict_with_uncertainty(pool.X[available])
+
+
+def pool_mu(model, pool: DataPool, available: np.ndarray) -> np.ndarray:
+    """Predicted means for the pool rows ``available`` (cached when possible)."""
+    scorer = getattr(model, "predict_pool", None)
+    if scorer is not None:
+        return scorer(pool.X, available)
+    return model.predict(pool.X[available])
+
+
+def consume_selection_stats(strategy, batch_idx: np.ndarray):
+    """Pop the ``(mu, sigma)`` a strategy stashed for its selected batch.
+
+    Returns ``None`` when the strategy stashed nothing or the stash does not
+    cover exactly ``batch_idx`` (in order) — the caller then re-predicts.
+    Single-use by design: the stats describe one specific selection by one
+    specific model state.
+    """
+    stats = getattr(strategy, "_selection_stats", None)
+    if stats is None:
+        return None
+    strategy._selection_stats = None
+    chosen, mu, sigma = stats
+    if not np.array_equal(chosen, np.asarray(batch_idx)):
+        return None
+    return mu, sigma
 
 
 class SamplingStrategy(ABC):
@@ -46,6 +94,30 @@ class SamplingStrategy(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not expose per-configuration scores"
         )
+
+    def _stash_selection_stats(
+        self,
+        available: np.ndarray,
+        mu: np.ndarray,
+        sigma: np.ndarray,
+        chosen: np.ndarray,
+    ) -> np.ndarray:
+        """Record the selection-time ``(mu, sigma)`` of the chosen rows.
+
+        ``available`` is ascending (see :meth:`DataPool.available_indices`),
+        so the chosen rows' positions come from one ``searchsorted``.  The
+        active learner pops the stash via
+        :func:`consume_selection_stats` instead of re-predicting the batch;
+        the values are the very floats the strategy ranked, so reuse is
+        bit-identical.  Returns ``chosen`` for call-site convenience.
+        """
+        pos = np.searchsorted(available, chosen)
+        self._selection_stats = (
+            np.asarray(chosen).copy(),
+            np.asarray(mu, dtype=np.float64)[pos].copy(),
+            np.asarray(sigma, dtype=np.float64)[pos].copy(),
+        )
+        return chosen
 
     # -- shared validation ------------------------------------------------
     @staticmethod

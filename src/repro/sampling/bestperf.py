@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import SamplingStrategy, top_k_by_score
+from repro.sampling.base import SamplingStrategy, pool_mu, top_k_by_score
 from repro.space import DataPool
 
 __all__ = ["BestPerfSampling"]
@@ -29,5 +29,5 @@ class BestPerfSampling(SamplingStrategy):
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
         return top_k_by_score(
-            available, self.scores(model, pool.X[available]), n_batch
+            available, -pool_mu(model, pool, available), n_batch
         )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import SamplingStrategy
+from repro.sampling.base import SamplingStrategy, pool_mu
 from repro.space import DataPool
 
 __all__ = ["BiasedRandomSampling"]
@@ -29,7 +29,7 @@ class BiasedRandomSampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        mu = model.predict(pool.X[available])
+        mu = pool_mu(model, pool, available)
         n_top = max(n_batch, int(np.ceil(self.top_fraction * len(available))))
         # Best predicted performance = smallest predicted time.
         order = np.argsort(mu, kind="stable")

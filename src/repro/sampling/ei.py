@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
-from repro.sampling.base import SamplingStrategy, top_k_by_score
+from repro.sampling.base import SamplingStrategy, pool_mu_sigma, top_k_by_score
 from repro.space import DataPool
 
 __all__ = ["ExpectedImprovementSampling", "expected_improvement"]
@@ -67,6 +67,9 @@ class ExpectedImprovementSampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        return top_k_by_score(
-            available, self.scores(model, pool.X[available]), n_batch
+        mu, sigma = pool_mu_sigma(model, pool, available)
+        incumbent = float(np.min(model.training_targets))
+        chosen = top_k_by_score(
+            available, expected_improvement(mu, sigma, incumbent), n_batch
         )
+        return self._stash_selection_stats(available, mu, sigma, chosen)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import SamplingStrategy, top_k_by_score
+from repro.sampling.base import SamplingStrategy, pool_mu_sigma, top_k_by_score
 from repro.space import DataPool
 
 __all__ = ["MaxUncertaintySampling"]
@@ -29,6 +29,6 @@ class MaxUncertaintySampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        return top_k_by_score(
-            available, self.scores(model, pool.X[available]), n_batch
-        )
+        mu, sigma = pool_mu_sigma(model, pool, available)
+        chosen = top_k_by_score(available, sigma, n_batch)
+        return self._stash_selection_stats(available, mu, sigma, chosen)

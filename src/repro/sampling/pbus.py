@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import SamplingStrategy, top_k_by_score
+from repro.sampling.base import SamplingStrategy, pool_mu_sigma, top_k_by_score
 from repro.space import DataPool
 
 __all__ = ["PBUSampling"]
@@ -45,14 +45,15 @@ class PBUSampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        mu, sigma = model.predict_with_uncertainty(pool.X[available])
+        mu, sigma = pool_mu_sigma(model, pool, available)
         n_candidates = max(
             n_batch, int(np.ceil(self.candidate_fraction * len(available)))
         )
         # Step 1 — performance bias: smallest predicted time first.
         perf_order = np.argsort(mu, kind="stable")[:n_candidates]
         # Step 2 — uncertainty: most uncertain among the candidates.
-        return top_k_by_score(available[perf_order], sigma[perf_order], n_batch)
+        chosen = top_k_by_score(available[perf_order], sigma[perf_order], n_batch)
+        return self._stash_selection_stats(available, mu, sigma, chosen)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PBUSampling(candidate_fraction={self.candidate_fraction})"

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import SamplingStrategy, top_k_by_score
+from repro.sampling.base import SamplingStrategy, pool_mu_sigma, top_k_by_score
 from repro.space import DataPool
 
 __all__ = ["PWUSampling", "pwu_scores"]
@@ -77,9 +77,11 @@ class PWUSampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        return top_k_by_score(
-            available, self.scores(model, pool.X[available]), n_batch
+        mu, sigma = pool_mu_sigma(model, pool, available)
+        chosen = top_k_by_score(
+            available, pwu_scores(mu, sigma, self.alpha), n_batch
         )
+        return self._stash_selection_stats(available, mu, sigma, chosen)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PWUSampling(alpha={self.alpha})"

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.base import SamplingStrategy, top_k_by_score
+from repro.sampling.base import SamplingStrategy, pool_mu_sigma, top_k_by_score
 from repro.space import DataPool
 
 __all__ = [
@@ -36,10 +36,11 @@ class CoefficientOfVariationSampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        mu, sigma = model.predict_with_uncertainty(pool.X[available])
+        mu, sigma = pool_mu_sigma(model, pool, available)
         if np.any(mu <= 0):
             raise ValueError("predicted execution times must be positive")
-        return top_k_by_score(available, sigma / mu, n_batch)
+        chosen = top_k_by_score(available, sigma / mu, n_batch)
+        return self._stash_selection_stats(available, mu, sigma, chosen)
 
 
 class CostAwarePWUSampling(SamplingStrategy):
@@ -70,9 +71,13 @@ class CostAwarePWUSampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        return top_k_by_score(
-            available, self.scores(model, pool.X[available]), n_batch
+        mu, sigma = pool_mu_sigma(model, pool, available)
+        if np.any(mu <= 0):
+            raise ValueError("predicted execution times must be positive")
+        chosen = top_k_by_score(
+            available, sigma / mu ** (2.0 - self.alpha), n_batch
         )
+        return self._stash_selection_stats(available, mu, sigma, chosen)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CostAwarePWUSampling(alpha={self.alpha})"
@@ -97,12 +102,15 @@ class RankWeightedUncertaintySampling(SamplingStrategy):
         self, model, pool: DataPool, n_batch: int, rng: np.random.Generator
     ) -> np.ndarray:
         available = self._check_request(pool, n_batch)
-        mu, sigma = model.predict_with_uncertainty(pool.X[available])
+        mu, sigma = pool_mu_sigma(model, pool, available)
         n = len(available)
         # rank fraction: 0 = fastest predicted, (n-1)/n = slowest.
         order = np.argsort(np.argsort(mu, kind="stable"), kind="stable")
         r = order.astype(np.float64) / n
-        return top_k_by_score(available, sigma * (1.0 - r) ** self.gamma, n_batch)
+        chosen = top_k_by_score(
+            available, sigma * (1.0 - r) ** self.gamma, n_batch
+        )
+        return self._stash_selection_stats(available, mu, sigma, chosen)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RankWeightedUncertaintySampling(gamma={self.gamma})"

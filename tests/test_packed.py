@@ -1,0 +1,175 @@
+"""Unit tests for the packed-forest SoA and the v2 serialisation format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.forest._cgrower as _cgrower
+from repro.forest import PackedForest, RandomForestRegressor, load_forest, save_forest
+from repro.forest.packed import FIELDS
+
+_TREE_FIELDS = (
+    "feature_",
+    "threshold_",
+    "left_",
+    "right_",
+    "value_",
+    "variance_",
+    "count_",
+    "impurity_",
+)
+
+
+def _fitted_forest(rng, n=120, d=5, n_estimators=6, **kw):
+    X = rng.normal(size=(n, d))
+    y = np.abs(rng.normal(size=n)) + 0.1
+    return RandomForestRegressor(n_estimators=n_estimators, seed=rng, **kw).fit(X, y), X
+
+
+class TestPacking:
+    def test_from_trees_to_trees_round_trip(self, rng):
+        model, _ = _fitted_forest(rng)
+        packed = PackedForest.from_trees(model.trees_)
+        assert packed.n_trees == len(model.trees_)
+        assert packed.n_nodes == sum(len(t.feature_) for t in model.trees_)
+        back = packed.to_trees()
+        for orig, restored in zip(model.trees_, back):
+            for field in _TREE_FIELDS:
+                a, b = getattr(orig, field), getattr(restored, field)
+                assert a.dtype == b.dtype
+                assert (a == b).all(), field
+            assert restored.n_features_ == orig.n_features_
+
+    def test_child_links_are_rebased_to_global_ids(self, rng):
+        model, _ = _fitted_forest(rng)
+        packed = PackedForest.from_trees(model.trees_)
+        internal = packed.feature >= 0
+        # Every internal node's children land inside the same tree's slice.
+        tree_of = np.searchsorted(packed.offsets, np.arange(packed.n_nodes), "right") - 1
+        for child in (packed.left[internal], packed.right[internal]):
+            assert (child >= 0).all()
+            assert (tree_of[child] == tree_of[np.flatnonzero(internal)]).all()
+        # Leaves carry no children.
+        assert (packed.left[~internal] == -1).all()
+        assert (packed.right[~internal] == -1).all()
+
+    def test_from_trees_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            PackedForest.from_trees([])
+
+    def test_offsets_validation(self, rng):
+        model, _ = _fitted_forest(rng, n_estimators=2)
+        packed = PackedForest.from_trees(model.trees_)
+        arrays = packed.arrays()
+        with pytest.raises(ValueError, match="offsets"):
+            PackedForest(*arrays.values(), offsets=np.array([0]), n_features=5)
+        bad = packed.offsets.copy()
+        bad[-1] += 3
+        with pytest.raises(ValueError, match="nodes"):
+            PackedForest(*arrays.values(), offsets=bad, n_features=5)
+
+
+class TestTraversal:
+    @pytest.fixture(params=["c-kernel", "numpy-fallback"])
+    def kernel_mode(self, request, monkeypatch):
+        if request.param == "numpy-fallback":
+            monkeypatch.setattr(_cgrower, "_lib", None)
+            monkeypatch.setattr(_cgrower, "_attempted", True)
+        elif _cgrower.load() is None:
+            pytest.skip("C kernel unavailable in this environment")
+        return request.param
+
+    def test_predict_all_matches_per_tree_loop(self, rng, kernel_mode):
+        model, X = _fitted_forest(rng)
+        Q = np.ascontiguousarray(X[:40])
+        packed = PackedForest.from_trees(model.trees_)
+        expected = np.stack([t.predict(Q) for t in model.trees_])
+        assert (packed.predict_all(Q) == expected).all()
+
+    def test_apply_matches_per_tree_apply(self, rng, kernel_mode):
+        model, X = _fitted_forest(rng)
+        Q = np.ascontiguousarray(X[:40])
+        packed = PackedForest.from_trees(model.trees_)
+        leaves = packed.apply(Q)
+        for t, tree in enumerate(model.trees_):
+            assert (leaves[t] - int(packed.offsets[t]) == tree.apply(Q)).all()
+
+    def test_leaf_stats_all_matches_per_tree(self, rng, kernel_mode):
+        model, X = _fitted_forest(rng)
+        Q = np.ascontiguousarray(X[:40])
+        packed = PackedForest.from_trees(model.trees_)
+        M, V, C = packed.leaf_stats_all(Q)
+        for t, tree in enumerate(model.trees_):
+            m, v, c = tree.leaf_stats(Q)
+            assert (M[t] == m).all() and (V[t] == v).all() and (C[t] == c).all()
+
+    def test_predict_trees_subset(self, rng, kernel_mode):
+        model, X = _fitted_forest(rng, n_estimators=8)
+        Q = np.ascontiguousarray(X[:25])
+        packed = PackedForest.from_trees(model.trees_)
+        ids = np.array([6, 0, 3])
+        sub = packed.predict_trees(Q, ids)
+        assert sub.shape == (3, 25)
+        full = packed.predict_all(Q)
+        assert (sub == full[ids]).all()
+
+
+class TestSerializeV2:
+    def test_round_trip_predictions_identical(self, rng, tmp_path):
+        model, X = _fitted_forest(rng, uncertainty="total_variance")
+        path = tmp_path / "forest.npz"
+        save_forest(model, str(path))
+        loaded = load_forest(str(path))
+        assert loaded.uncertainty == "total_variance"
+        assert (loaded.predict(X) == model.predict(X)).all()
+        mu_a, sd_a = model.predict_with_uncertainty(X)
+        mu_b, sd_b = loaded.predict_with_uncertainty(X)
+        assert (mu_a == mu_b).all() and (sd_a == sd_b).all()
+        assert (
+            loaded.per_tree_predictions(X) == model.per_tree_predictions(X)
+        ).all()
+
+    def test_saved_file_is_packed_format(self, rng, tmp_path):
+        model, _ = _fitted_forest(rng)
+        path = tmp_path / "forest.npz"
+        save_forest(model, str(path))
+        with np.load(path) as data:
+            assert int(data["format_version"]) == 2
+            for name in FIELDS:
+                assert f"packed_{name}" in data
+            assert len(data["offsets"]) == len(model.trees_) + 1
+
+    def test_unfitted_forest_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_forest(RandomForestRegressor(), str(tmp_path / "x.npz"))
+
+    def test_loads_v1_format(self, rng, tmp_path):
+        model, X = _fitted_forest(rng, n_estimators=4)
+        payload = {
+            "format_version": np.asarray(1),
+            "n_trees": np.asarray(len(model.trees_)),
+            "n_features": np.asarray(model.trees_[0].n_features_),
+            "uncertainty": np.asarray(model.uncertainty),
+        }
+        for i, tree in enumerate(model.trees_):
+            for field in _TREE_FIELDS:
+                payload[f"tree{i}_{field}"] = getattr(tree, field)
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, **payload)
+        loaded = load_forest(str(path))
+        assert (loaded.predict(X) == model.predict(X)).all()
+        mu_a, sd_a = model.predict_with_uncertainty(X)
+        mu_b, sd_b = loaded.predict_with_uncertainty(X)
+        assert (mu_a == mu_b).all() and (sd_a == sd_b).all()
+
+    def test_unknown_version_rejected(self, rng, tmp_path):
+        model, _ = _fitted_forest(rng, n_estimators=2)
+        path = tmp_path / "forest.npz"
+        save_forest(model, str(path))
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["format_version"] = np.asarray(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version 99"):
+            load_forest(str(path))

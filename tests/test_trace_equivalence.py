@@ -1,0 +1,217 @@
+"""Trace-equivalence: the fast surrogate path is bit-identical to the reference.
+
+The presorted/C tree grower, the packed-forest traversal, the pool-score
+cache, and the learner's selection-stat reuse are all pure optimisations:
+they must produce the *same bits* as the pre-optimisation reference —
+same splits, same RNG consumption, same predictions, same selected pool
+indices over a full ``ActiveLearner.run``.  These tests pin that, for both
+the C kernel and the pure-numpy fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.active.learner as learner_mod
+import repro.forest._cgrower as _cgrower
+from repro.active import ActiveLearner, LearnerConfig
+from repro.forest import RandomForestRegressor, RegressionTree
+from repro.forest.uncertainty import across_tree_std, total_variance_std
+from repro.sampling import make_strategy
+from repro.space import DataPool
+
+_TREE_FIELDS = (
+    "feature_",
+    "threshold_",
+    "left_",
+    "right_",
+    "value_",
+    "variance_",
+    "count_",
+    "impurity_",
+)
+
+
+class _ReferenceForest(RandomForestRegressor):
+    """The pre-optimisation surrogate: per-node argsort growth, per-tree
+    Python prediction loops, no pool-score cache."""
+
+    # pool_mu_sigma/pool_mu treat None as "no pool-aware scorer".
+    predict_with_uncertainty_pool = None
+    predict_pool = None
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("presort", False)
+        super().__init__(**kwargs)
+
+    def per_tree_predictions(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.stack([t.predict(X) for t in self.trees_], axis=0)
+
+    def predict_with_uncertainty(self, X: np.ndarray):
+        self._require_fitted()
+        if self.uncertainty == "across_trees":
+            P = self.per_tree_predictions(X)
+            return P.mean(axis=0), across_tree_std(P)
+        means, variances = [], []
+        for t in self.trees_:
+            m, v, _ = t.leaf_stats(X)
+            means.append(m)
+            variances.append(v)
+        M = np.stack(means, axis=0)
+        V = np.stack(variances, axis=0)
+        return M.mean(axis=0), total_variance_std(M, V)
+
+
+@pytest.fixture(params=["c-kernel", "numpy-fallback"])
+def kernel_mode(request, monkeypatch):
+    """Run each test against both the C kernel and the pure-numpy path."""
+    if request.param == "numpy-fallback":
+        monkeypatch.setattr(_cgrower, "_lib", None)
+        monkeypatch.setattr(_cgrower, "_attempted", True)
+    else:
+        if _cgrower.load() is None:
+            pytest.skip("C kernel unavailable in this environment")
+    return request.param
+
+
+def _random_problem(seed, n=180, d=7):
+    r = np.random.default_rng(seed)
+    X = r.normal(size=(n, d)) * (10.0 ** r.integers(-2, 3))
+    X[:, 0] = np.round(X[:, 0], 1)  # ties
+    if d > 2:
+        X[:, 1] = 1.25  # constant feature
+    y = np.abs(r.normal(size=n)) * (10.0 ** r.integers(-2, 3)) + 1e-3
+    return X, y
+
+
+class TestTreeGrowth:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("max_features", [None, "third", "sqrt"])
+    def test_presorted_growth_bit_identical(self, kernel_mode, seed, max_features):
+        X, y = _random_problem(seed)
+        ra = np.random.default_rng(seed + 99)
+        rb = np.random.default_rng(seed + 99)
+        ref = RegressionTree(
+            max_features=max_features, min_samples_leaf=2, rng=ra, presort=False
+        ).fit(X, y)
+        fast = RegressionTree(
+            max_features=max_features, min_samples_leaf=2, rng=rb, presort=True
+        ).fit(X, y)
+        for field in _TREE_FIELDS:
+            a, b = getattr(ref, field), getattr(fast, field)
+            assert a.shape == b.shape
+            assert (a == b).all(), field
+        # Identical RNG consumption, not just identical output.
+        assert ra.bit_generator.state == rb.bit_generator.state
+
+    def test_forest_growth_consumes_rng_identically(self, kernel_mode):
+        X, y = _random_problem(3)
+        ref = _ReferenceForest(n_estimators=7, seed=11).fit(X, y)
+        fast = RandomForestRegressor(n_estimators=7, seed=11).fit(X, y)
+        assert ref.rng.bit_generator.state == fast.rng.bit_generator.state
+        for tr, tf in zip(ref.trees_, fast.trees_):
+            for field in _TREE_FIELDS:
+                assert (getattr(tr, field) == getattr(tf, field)).all()
+
+
+class TestForestInference:
+    @pytest.mark.parametrize("uncertainty", ["across_trees", "total_variance"])
+    def test_predict_paths_bit_identical(self, kernel_mode, uncertainty):
+        X, y = _random_problem(5)
+        Q = _random_problem(6)[0]
+        ref = _ReferenceForest(n_estimators=9, seed=2, uncertainty=uncertainty).fit(X, y)
+        fast = RandomForestRegressor(n_estimators=9, seed=2, uncertainty=uncertainty).fit(X, y)
+        assert (ref.per_tree_predictions(Q) == fast.per_tree_predictions(Q)).all()
+        assert (ref.predict(Q) == fast.predict(Q)).all()
+        mu_r, sd_r = ref.predict_with_uncertainty(Q)
+        mu_f, sd_f = fast.predict_with_uncertainty(Q)
+        assert (mu_r == mu_f).all() and (sd_r == sd_f).all()
+        # Packed apply routes to the same leaves as the per-tree apply.
+        packed = fast.packed()
+        leaves = packed.apply(np.atleast_2d(np.asarray(Q, dtype=np.float64)))
+        for t, tree in enumerate(fast.trees_):
+            local = leaves[t] - int(packed.offsets[t])
+            assert (local == tree.apply(Q)).all()
+
+    @pytest.mark.parametrize("uncertainty", ["across_trees", "total_variance"])
+    def test_pool_cache_bit_identical_through_partial_updates(
+        self, kernel_mode, uncertainty
+    ):
+        X, y = _random_problem(7)
+        pool = _random_problem(8, n=400)[0]
+        r = np.random.default_rng(0)
+        fast = RandomForestRegressor(n_estimators=8, seed=4, uncertainty=uncertainty).fit(X, y)
+        rows = np.sort(r.choice(400, size=350, replace=False))
+        for step in range(4):
+            mu_c, sd_c = fast.predict_with_uncertainty_pool(pool, rows)
+            mu_p, sd_p = fast.predict_with_uncertainty(pool[rows])
+            assert (mu_c == mu_p).all() and (sd_c == sd_p).all()
+            assert (fast.predict_pool(pool, rows) == fast.predict(pool[rows])).all()
+            # Shrink the row set (pool.take semantics) and partially refresh.
+            rows = rows[:: 2] if step == 1 else rows[: len(rows) - 5]
+            Xn, yn = _random_problem(20 + step, n=3)
+            fast.update(Xn, yn, refresh_fraction=0.25)
+
+
+def _run_learner(seed, strategy_name, forest_cls, disable_stat_reuse,
+                 monkeypatch_ctx, **cfg_overrides):
+    r = np.random.default_rng(seed)
+    n_pool, n_test = 140, 110
+    Xall = r.random((n_pool + n_test, 5))
+    truth = lambda A: 0.6 + A[:, 0] + 0.25 * np.sin(7 * A[:, 1])  # noqa: E731
+    pool = DataPool(Xall[:n_pool])
+    X_test, y_test = Xall[n_pool:], truth(Xall[n_pool:])
+    oracle_rng = np.random.default_rng(seed + 1)
+    oracle = lambda A: truth(np.atleast_2d(A)) * np.exp(  # noqa: E731
+        oracle_rng.normal(0, 0.01, len(np.atleast_2d(A)))
+    )
+    cfg = dict(n_init=8, n_batch=1, n_max=18, eval_every=3, n_estimators=6)
+    cfg.update(cfg_overrides)
+    monkeypatch_ctx.setattr(learner_mod, "RandomForestRegressor", forest_cls)
+    if disable_stat_reuse:
+        monkeypatch_ctx.setattr(
+            learner_mod, "consume_selection_stats", lambda *a: None
+        )
+    learner = ActiveLearner(
+        pool=pool,
+        evaluate=oracle,
+        X_test=X_test,
+        y_test=y_test,
+        strategy=make_strategy(strategy_name),
+        config=LearnerConfig(**cfg),
+        seed=seed + 2,
+    )
+    return learner.run()
+
+
+class TestFullRunEquivalence:
+    @pytest.mark.parametrize(
+        "strategy_name", ["pwu", "maxu", "pbus", "bestperf", "brs", "ei"]
+    )
+    def test_history_bit_identical(self, kernel_mode, strategy_name, monkeypatch):
+        with monkeypatch.context() as m:
+            ref = _run_learner(31, strategy_name, _ReferenceForest, True, m)
+        with monkeypatch.context() as m:
+            fast = _run_learner(31, strategy_name, RandomForestRegressor, False, m)
+        assert len(ref.records) == len(fast.records)
+        for a, b in zip(ref.records, fast.records):
+            assert a.selected == b.selected
+            assert a.selected_mu == b.selected_mu
+            assert a.selected_sigma == b.selected_sigma
+            assert a.rmse == b.rmse
+            assert a.n_train == b.n_train
+            assert a.cumulative_cost == b.cumulative_cost
+
+    def test_history_bit_identical_partial_retrain(self, kernel_mode, monkeypatch):
+        cfg = dict(retrain="partial", refresh_fraction=0.34)
+        with monkeypatch.context() as m:
+            ref = _run_learner(55, "pwu", _ReferenceForest, True, m, **cfg)
+        with monkeypatch.context() as m:
+            fast = _run_learner(55, "pwu", RandomForestRegressor, False, m, **cfg)
+        for a, b in zip(ref.records, fast.records):
+            assert a.selected == b.selected
+            assert a.selected_mu == b.selected_mu
+            assert a.selected_sigma == b.selected_sigma
+            assert a.rmse == b.rmse
