@@ -12,7 +12,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 
 KERNEL = "gemver"
 STRATEGIES = ("pwu", "pwu-cost", "ei")
@@ -21,7 +21,7 @@ STRATEGIES = ("pwu", "pwu-cost", "ei")
 def test_ablation_acquisition_extras(benchmark, scale, output_dir):
     def run_all():
         return {
-            s: run_strategy(KERNEL, s, scale, seed=env_seed(), alpha=0.05)
+            s: strategy_trace(KERNEL, s, scale, seed=env_seed(), alpha=0.05)
             for s in STRATEGIES
         }
 

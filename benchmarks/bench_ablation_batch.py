@@ -11,7 +11,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 
 KERNEL = "gesummv"
 BATCHES = (1, 5, 10)
@@ -22,7 +22,7 @@ def test_ablation_batch_size(benchmark, scale, output_dir):
         out = {}
         for b in BATCHES:
             t0 = time.perf_counter()
-            trace = run_strategy(
+            trace = strategy_trace(
                 KERNEL,
                 "pwu",
                 scale,

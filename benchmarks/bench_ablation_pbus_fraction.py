@@ -12,7 +12,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 from repro.metrics import speedup_at_level
 from repro.sampling.pbus import PBUSampling
 
@@ -22,9 +22,9 @@ FRACTIONS = (0.02, 0.05, 0.10, 0.25)
 
 def test_sensitivity_pbus_candidate_fraction(benchmark, scale, output_dir):
     def run_all():
-        pwu = run_strategy(KERNEL, "pwu", scale, seed=env_seed(), alpha=0.01)
+        pwu = strategy_trace(KERNEL, "pwu", scale, seed=env_seed(), alpha=0.01)
         pbus = {
-            f: run_strategy(
+            f: strategy_trace(
                 KERNEL,
                 PBUSampling(candidate_fraction=f),
                 scale,

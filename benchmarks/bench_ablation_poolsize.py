@@ -12,7 +12,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 
 KERNEL = "bicgkernel"
 
@@ -28,7 +28,7 @@ def test_ablation_pool_size(benchmark, scale, output_dir):
                 name=f"{scale.name}-pool{f:g}x",
                 pool_size=max(int(scale.pool_size * f), scale.n_max),
             )
-            out[f] = run_strategy(
+            out[f] = strategy_trace(
                 KERNEL, "pwu", sized, seed=env_seed(), alpha=0.05, label=f"pwu/{f:g}x"
             )
         return out

@@ -9,7 +9,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 
 KERNEL = "jacobi"
 VARIANTS = ("pwu", "cv", "pwu-rank", "maxu")
@@ -18,7 +18,7 @@ VARIANTS = ("pwu", "cv", "pwu-rank", "maxu")
 def test_ablation_pwu_variants(benchmark, scale, output_dir):
     def run_all():
         return {
-            v: run_strategy(KERNEL, v, scale, seed=env_seed(), alpha=0.05)
+            v: strategy_trace(KERNEL, v, scale, seed=env_seed(), alpha=0.05)
             for v in VARIANTS
         }
 

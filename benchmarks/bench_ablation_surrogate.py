@@ -10,7 +10,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 
 CASES = ("atax", "hypre")
 
@@ -20,7 +20,7 @@ def test_ablation_surrogate_family(benchmark, scale, output_dir):
         out = {}
         for bench_name in CASES:
             for model in ("forest", "gp"):
-                out[(bench_name, model)] = run_strategy(
+                out[(bench_name, model)] = strategy_trace(
                     bench_name,
                     "pwu",
                     scale,

@@ -10,7 +10,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 
 KERNEL = "atax"
 
@@ -18,7 +18,7 @@ KERNEL = "atax"
 def test_ablation_uncertainty_estimator(benchmark, scale, output_dir):
     def run_both():
         return {
-            estimator: run_strategy(
+            estimator: strategy_trace(
                 KERNEL,
                 "pwu",
                 scale,

@@ -12,7 +12,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import strategy_trace
 
 KERNEL = "mvt"
 SETTINGS = (
@@ -27,7 +27,7 @@ def test_ablation_warm_update(benchmark, scale, output_dir):
         out = {}
         for name, overrides in SETTINGS:
             t0 = time.perf_counter()
-            trace = run_strategy(
+            trace = strategy_trace(
                 KERNEL,
                 "pwu",
                 scale,

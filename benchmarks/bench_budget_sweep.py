@@ -13,7 +13,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_comparison
+from repro.experiments.runner import comparison_traces
 from repro.metrics import speedup_at_level
 
 KERNEL = "atax"
@@ -31,7 +31,7 @@ def test_budget_sweep(benchmark, scale, output_dir):
                 pool_size=max(scale.pool_size, n_max * 3),
                 n_trials=min(scale.n_trials, 2),
             )
-            traces = run_comparison(
+            traces = comparison_traces(
                 KERNEL, ("pbus", "pwu"), sized, seed=env_seed(), alpha=0.01
             )
             sp, level = speedup_at_level(

@@ -13,7 +13,7 @@ import numpy as np
 from conftest import env_seed, once, write_panel
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_comparison
+from repro.experiments.runner import comparison_traces
 from repro.metrics import speedup_at_level
 
 BENCHMARKS = ("atax", "jacobi", "kripke")
@@ -33,7 +33,7 @@ def test_fig7_larger_budget(benchmark, scale, output_dir):
     def run_all():
         out = {}
         for bench_name in BENCHMARKS:
-            traces = run_comparison(
+            traces = comparison_traces(
                 bench_name, ("pbus", "pwu"), sized, seed=env_seed(), alpha=0.01
             )
             sp, level = speedup_at_level(

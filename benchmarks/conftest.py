@@ -25,7 +25,7 @@ import pytest
 from repro.engine import engine_from_env, use_engine
 from repro.experiments.aggregate import AveragedTrace
 from repro.experiments.config import ExperimentScale, scale_from_env
-from repro.experiments.runner import run_comparison
+from repro.experiments.runner import comparison_traces
 
 OUTPUT_DIR = Path(__file__).parent / "_output"
 
@@ -57,10 +57,10 @@ def cached_comparison(
     seed: int = 0,
     alpha: float = 0.01,
 ) -> dict[str, AveragedTrace]:
-    """Memoised run_comparison: figures that share runs share the cost."""
+    """Memoised comparison_traces: figures that share runs share the cost."""
     key = (benchmark_name, strategies, scale.name, seed, alpha)
     if key not in _COMPARISON_CACHE:
-        _COMPARISON_CACHE[key] = run_comparison(
+        _COMPARISON_CACHE[key] = comparison_traces(
             benchmark_name, strategies, scale, seed=seed, alpha=alpha
         )
     return _COMPARISON_CACHE[key]

@@ -12,10 +12,10 @@ Run:  python examples/compare_strategies.py [kernel] [scale]
 
 import sys
 
+import repro.api
 from repro import STRATEGY_NAMES
 from repro.experiments import SCALES
 from repro.experiments.report import format_table, series_table, sparkline
-from repro.experiments.runner import run_comparison
 from repro.metrics import speedup_at_level
 
 
@@ -25,7 +25,10 @@ def main(kernel: str = "atax", scale_name: str = "smoke") -> None:
         f"running {len(STRATEGY_NAMES)} strategies x {scale.n_trials} trials "
         f"on {kernel!r} at scale {scale.name!r} ..."
     )
-    traces = run_comparison(kernel, STRATEGY_NAMES, scale, seed=7, alpha=0.01)
+    result = repro.api.compare(
+        kernel, STRATEGY_NAMES, seed=7, alpha=0.01, scale=scale
+    )
+    traces = result.traces
 
     any_trace = next(iter(traces.values()))
     print()

@@ -1,70 +1,50 @@
 #!/usr/bin/env python
 """Quickstart: model one SPAPT kernel with PWU active learning.
 
-This is the 60-second tour of the library: build the *atax* benchmark,
-draw the data pool and a pre-labeled test set, run Algorithm 1 with the
-paper's PWU strategy, and watch RMSE@5% fall as samples accumulate.
+This is the 60-second tour of the library through its front door,
+:mod:`repro.api`: run the paper's PWU strategy on the *atax* benchmark
+and watch RMSE@5% fall as labeled samples accumulate.  Pass
+``trace=True`` (or run the CLI with ``--trace``) to also get a JSONL
+telemetry trace showing where the time went.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import ActiveLearner, LearnerConfig, get_benchmark, make_strategy
-from repro.experiments import SCALES, prepare_data
+import repro.api
 from repro.experiments.report import series_table
 
 SEED = 2024
 
 
 def main() -> None:
-    # 1. A benchmark couples a parameter space with a timing oracle.
-    bench = get_benchmark("atax")
-    print(f"benchmark: {bench.name}")
-    print(bench.space.describe())
-    print()
+    # One call: prepares the pool and pre-labeled test set, runs
+    # Algorithm 1 for scale.n_trials trials through the parallel engine,
+    # and averages the traces.  'smoke' keeps this script fast; use
+    # scale="paper" for the full 7000/3000/500 protocol.
+    result = repro.api.run("atax", "pwu", seed=SEED, scale="smoke")
 
-    # 2. The paper's protocol: sample a pool + a test set whose labels are
-    #    measured in advance ('smoke' keeps this script fast; use
-    #    SCALES['paper'] for the full 7000/3000/500 protocol).
-    scale = SCALES["smoke"]
-    pool, X_test, y_test = prepare_data(bench, scale, seed=SEED)
-    print(f"pool: {pool.n_total} configurations, test set: {len(y_test)}")
-
-    # 3. Algorithm 1 with the PWU sampling strategy (Equation 1).
-    rng = np.random.default_rng(SEED)
-    learner = ActiveLearner(
-        pool=pool,
-        evaluate=lambda X: bench.measure_encoded(X, rng),
-        X_test=X_test,
-        y_test=y_test,
-        strategy=make_strategy("pwu", alpha=0.05),
-        config=LearnerConfig(
-            n_init=scale.n_init,
-            n_max=scale.n_max,
-            eval_every=scale.eval_every,
-            n_estimators=scale.n_estimators,
-        ),
-        seed=rng,
-    )
-    history = learner.run()
-
-    # 4. Inspect the learning trace.
+    trace = result.history
+    print(f"benchmark: {result.workload}, strategy: {result.strategy} "
+          f"({trace.n_trials} trials averaged)")
     print()
     print(
         series_table(
-            history.n_train,
+            trace.n_train,
             {
-                "RMSE@5%": history.rmse_series("0.05"),
-                "cumulative cost (s)": history.cumulative_cost,
+                "RMSE@5%": trace.rmse_mean["0.05"],
+                "cumulative cost (s)": trace.cc_mean,
             },
             x_label="#samples",
         )
     )
-    start, end = history.rmse_series("0.05")[[0, -1]]
-    print(f"\nRMSE@5%: {start:.4f} -> {end:.4f} "
-          f"after {history.n_train[-1]} labeled samples "
-          f"({history.cumulative_cost[-1]:.1f}s of simulated measurement)")
+    print()
+    print(f"final RMSE@5%: {result.metrics['final_rmse']['0.05']:.4f} "
+          f"after {int(trace.n_train[-1])} labeled samples "
+          f"({result.metrics['final_cost']:.1f}s of simulated measurement)")
+
+    # The layers underneath (ActiveLearner, get_strategy, prepare_data)
+    # stay importable for custom studies — see the README's
+    # "Working below the facade" section.
 
 
 if __name__ == "__main__":

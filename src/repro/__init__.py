@@ -4,7 +4,17 @@ Modeling in Performance Tuning* (PWU sampling, IPPS 2020).
 Public API quick tour
 ---------------------
 
->>> from repro import get_benchmark, make_strategy, ActiveLearner, LearnerConfig
+The typed facade in :mod:`repro.api` is the documented way to run
+experiments:
+
+>>> import repro.api
+>>> result = repro.api.run("atax", "pwu", seed=0, budget=60, scale="smoke")
+>>> result.metrics["final_rmse"]["0.05"]  # doctest: +SKIP
+0.0123
+
+The layers underneath remain importable for custom studies:
+
+>>> from repro import get_benchmark, get_strategy, ActiveLearner, LearnerConfig
 >>> from repro.experiments import SCALES, prepare_data
 >>> bench = get_benchmark("atax")
 >>> pool, X_test, y_test = prepare_data(bench, SCALES["smoke"], seed=0)
@@ -12,7 +22,7 @@ Public API quick tour
 ...     pool=pool,
 ...     evaluate=lambda X: bench.measure_encoded(X, 0),
 ...     X_test=X_test, y_test=y_test,
-...     strategy=make_strategy("pwu", alpha=0.05),
+...     strategy=get_strategy("pwu", alpha=0.05),
 ...     config=LearnerConfig(n_max=60, eval_every=10),
 ...     seed=0,
 ... )
@@ -33,6 +43,9 @@ Layers (bottom-up):
 * :mod:`repro.experiments` — figure/table drivers and the CLI
 * :mod:`repro.engine` — parallel trial scheduler with a persistent,
   content-addressed result store (``--jobs`` / ``--cache-dir``)
+* :mod:`repro.telemetry` — structured spans/counters with JSONL export
+  (``--trace`` / ``REPRO_TRACE``)
+* :mod:`repro.api` — the typed facade over all of the above
 """
 
 from repro._version import __version__
@@ -47,8 +60,11 @@ from repro.metrics import (
 from repro.sampling import (
     STRATEGY_NAMES,
     PWUSampling,
+    available_strategies,
+    get_strategy,
     make_strategy,
     pwu_scores,
+    register_strategy,
 )
 from repro.space import (
     BooleanParameter,
@@ -76,6 +92,9 @@ __all__ = [
     "load_forest",
     # strategies
     "STRATEGY_NAMES",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
     "make_strategy",
     "PWUSampling",
     "pwu_scores",

@@ -21,6 +21,7 @@ from repro.metrics import cumulative_cost, top_alpha_rmse
 from repro.rng import as_generator
 from repro.sampling.base import SamplingStrategy, consume_selection_stats
 from repro.space import DataPool
+from repro.telemetry import counters, span
 
 __all__ = ["LearnerConfig", "ActiveLearner"]
 
@@ -149,14 +150,27 @@ class ActiveLearner:
         )
 
     def _refit(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
-        if self.model is None or self.config.retrain == "scratch":
-            self.model = self._make_model()
-            self.model.fit(self.X_train, self.y_train)
-        else:
-            self.model.update(X_new, y_new, self.config.refresh_fraction)
+        with span("learner.refit", n_train=len(self.y_train), mode=self.config.retrain):
+            if self.model is None or self.config.retrain == "scratch":
+                self.model = self._make_model()
+                self.model.fit(self.X_train, self.y_train)
+            else:
+                self.model.update(X_new, y_new, self.config.refresh_fraction)
+        counters.inc("learner.refits")
+
+    def _evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Query the labeling oracle under the ``learner.evaluate`` span."""
+        with span("learner.evaluate", n=len(X)):
+            y = np.asarray(self.evaluate(X), dtype=np.float64)
+        counters.inc("learner.evaluations", len(X))
+        return y
 
     def _record(self) -> None:
         assert self.model is not None
+        with span("learner.record", n_train=len(self.y_train)):
+            self._record_inner()
+
+    def _record_inner(self) -> None:
         pred = self.model.predict(self.X_test)
         rmse = {
             f"{a:g}": top_alpha_rmse(self.y_test, pred, a)
@@ -194,7 +208,7 @@ class ActiveLearner:
                 self.pool.available_indices(), size=cfg.n_init, replace=False
             )
         X0 = self.pool.take(init_idx)
-        y0 = np.asarray(self.evaluate(X0), dtype=np.float64)
+        y0 = self._evaluate(X0)
         self.X_train = np.asarray(X0, dtype=np.float64).copy()
         self.y_train = y0
         self._refit(X0, y0)
@@ -206,21 +220,23 @@ class ActiveLearner:
         while len(self.y_train) < cfg.n_max:
             n_batch = min(cfg.n_batch, cfg.n_max - len(self.y_train))
             model_arg = self.model if self.strategy.requires_model else None
-            batch_idx = np.asarray(
-                self.strategy.select(model_arg, self.pool, n_batch, self.rng)
-            )
-            Xb = self.pool.take(batch_idx)
-            # Selection-time model view of the batch (what Fig. 9 plots).
-            # Score-based strategies stash the (mu, sigma) they just ranked;
-            # reuse those instead of re-predicting the batch (bit-identical —
-            # they are the same floats).  Model-free or filter strategies
-            # stash nothing, so fall back to a fresh prediction.
-            stats = consume_selection_stats(self.strategy, batch_idx)
-            if stats is None:
-                mu_b, sigma_b = self.model.predict_with_uncertainty(Xb)
-            else:
-                mu_b, sigma_b = stats
-            yb = np.asarray(self.evaluate(Xb), dtype=np.float64)
+            with span("learner.select", n_batch=n_batch, iteration=iteration):
+                batch_idx = np.asarray(
+                    self.strategy.select(model_arg, self.pool, n_batch, self.rng)
+                )
+                Xb = self.pool.take(batch_idx)
+                # Selection-time model view of the batch (what Fig. 9 plots).
+                # Score-based strategies stash the (mu, sigma) they just
+                # ranked; reuse those instead of re-predicting the batch
+                # (bit-identical — they are the same floats).  Model-free or
+                # filter strategies stash nothing: fresh prediction.
+                stats = consume_selection_stats(self.strategy, batch_idx)
+                if stats is None:
+                    mu_b, sigma_b = self.model.predict_with_uncertainty(Xb)
+                else:
+                    mu_b, sigma_b = stats
+            counters.inc("learner.selections", n_batch)
+            yb = self._evaluate(Xb)
             if yb.shape != (len(Xb),):
                 raise RuntimeError(
                     f"oracle returned {yb.shape} labels for {len(Xb)} configs"

@@ -1,0 +1,254 @@
+"""The front door: typed one-call experiment execution.
+
+:func:`run` executes one (workload, strategy) study — repeated trials
+through the parallel engine, averaged — and :func:`compare` runs several
+strategies against the same pool/test split.  Both return frozen result
+objects carrying the averaged trace(s), headline metrics, and (when
+``trace=True``) the path of the JSONL telemetry trace written for the
+run.  They are thin wrappers over :mod:`repro.experiments.runner`; every
+capability there (custom scales, α sweeps, engine overrides) is reachable
+from here, and strategy names resolve exclusively through the registry in
+:mod:`repro.sampling` (unknown names fail fast with a did-you-mean).
+
+>>> import repro.api
+>>> result = repro.api.run("atax", "pwu", seed=0, budget=60)
+>>> result.metrics["final_rmse"]["0.05"]  # doctest: +SKIP
+0.0123
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+
+from repro import telemetry
+from repro.engine.context import EngineConfig, current_engine
+from repro.experiments.aggregate import AveragedTrace
+from repro.experiments.config import SCALES, ExperimentScale
+from repro.experiments.runner import DEFAULT_ALPHAS, comparison_traces, strategy_trace
+from repro.sampling import get_strategy
+
+__all__ = ["RunResult", "CompareResult", "run", "compare"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :func:`run` call."""
+
+    workload: str
+    strategy: str
+    seed: int
+    #: Trial-averaged learning trace (RMSE@α and cost vs. training size).
+    history: AveragedTrace
+    #: Headline numbers: ``final_rmse`` (per α key), ``final_cost``,
+    #: ``n_trials``.
+    metrics: dict
+    #: JSONL telemetry trace, or ``None`` when tracing was off.
+    trace_path: "str | None" = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CompareResult:
+    """Outcome of one :func:`compare` call."""
+
+    workload: str
+    strategies: "tuple[str, ...]"
+    seed: int
+    #: strategy name → trial-averaged trace, shared pool/test split.
+    traces: "dict[str, AveragedTrace]"
+    #: strategy name → the same headline metrics :class:`RunResult` carries.
+    metrics: dict
+    trace_path: "str | None" = None
+
+
+def _resolve_scale(scale: "str | ExperimentScale") -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {scale!r}; choose from {', '.join(SCALES)} "
+            f"or pass an ExperimentScale"
+        ) from None
+
+
+def _engine_config(jobs: "int | None", cache_dir: "str | None") -> EngineConfig:
+    config = current_engine()
+    if jobs is not None:
+        config = dataclasses.replace(config, jobs=int(jobs))
+    if cache_dir is not None:
+        config = dataclasses.replace(config, cache_dir=str(cache_dir))
+    return config
+
+
+def _trace_metrics(trace: AveragedTrace) -> dict:
+    return {
+        "final_rmse": {k: trace.final_rmse(k) for k in trace.rmse_mean},
+        "final_cost": float(trace.cc_mean[-1]),
+        "n_trials": trace.n_trials,
+    }
+
+
+def _traced(execute, trace: "bool | str", summary: bool):
+    """Run ``execute()`` with tracing scoped to it; returns ``(result, path)``.
+
+    With ``trace`` falsy the callable runs untouched (ambient tracing, if
+    any, is left alone).  Otherwise the facade owns the ring buffer for
+    the duration: it is cleared, the run recorded, and the events plus
+    this run's counter deltas written to ``trace`` (a path) or a
+    ``trace-<run_id>.jsonl`` default.
+    """
+    if not trace:
+        return execute(), None
+    telemetry.clear()
+    counters_before = telemetry.counters_snapshot()
+    with telemetry.tracing(True):
+        result = execute()
+    events = telemetry.drain_events()
+    dropped = telemetry.dropped_events()
+    delta = {
+        name: value - counters_before.get(name, 0)
+        for name, value in telemetry.counters_snapshot().items()
+        if value != counters_before.get(name, 0)
+    }
+    run_id = "untagged"
+    for event in events:
+        if event.get("name") == "engine.run":
+            run_id = event.get("attrs", {}).get("run_id", run_id)
+    path = trace if isinstance(trace, str) else f"trace-{run_id}.jsonl"
+    telemetry.write_trace(
+        path,
+        events,
+        counters=delta,
+        gauges=telemetry.gauges_snapshot(),
+        run_id=run_id,
+        dropped=dropped,
+    )
+    if summary:
+        parsed = {"header": {"run_id": run_id, "dropped_events": dropped},
+                  "events": events, "counters": delta, "gauges": {}}
+        print(telemetry.summarize(parsed), file=sys.stderr)
+    return result, path
+
+
+def run(
+    workload: str,
+    strategy: str,
+    *,
+    seed: int = 0,
+    budget: "int | None" = None,
+    jobs: "int | None" = None,
+    trace: "bool | str" = False,
+    scale: "str | ExperimentScale" = "quick",
+    trials: "int | None" = None,
+    alpha: float = 0.05,
+    alphas: "tuple[float, ...]" = DEFAULT_ALPHAS,
+    cache_dir: "str | None" = None,
+    trace_summary: bool = True,
+) -> RunResult:
+    """Run one strategy on one workload and average repeated trials.
+
+    Parameters
+    ----------
+    workload, strategy:
+        Benchmark and strategy names (registry-resolved; unknown strategy
+        names raise immediately with a closest-match hint).
+    seed:
+        Root seed; trials derive their randomness content-addressed from
+        it, so results are bit-identical at any ``jobs``.
+    budget:
+        Measurement budget — overrides the scale's ``n_max``.
+    jobs:
+        Worker processes (default: the ambient engine configuration).
+    trace:
+        ``True`` writes a JSONL telemetry trace next to the caller
+        (``trace-<run_id>.jsonl``); a string names the file explicitly.
+        A per-phase summary table is printed to stderr unless
+        ``trace_summary=False``.
+    scale, trials, alpha, alphas, cache_dir:
+        Protocol knobs forwarded to the runner: experiment scale (name or
+        :class:`ExperimentScale`), trial-count override, PWU α, evaluated
+        α grid, and the persistent result store directory.
+    """
+    get_strategy(strategy, alpha=alpha)  # fail fast on unknown names
+    resolved = _resolve_scale(scale)
+    if budget is not None:
+        resolved = dataclasses.replace(resolved, n_max=int(budget))
+    if trials is not None:
+        resolved = dataclasses.replace(resolved, n_trials=int(trials))
+    engine = _engine_config(jobs, cache_dir)
+
+    def execute() -> AveragedTrace:
+        return strategy_trace(
+            workload,
+            strategy,
+            resolved,
+            seed=seed,
+            alpha=alpha,
+            alphas=alphas,
+            engine=engine,
+        )
+
+    history, trace_path = _traced(execute, trace, trace_summary)
+    return RunResult(
+        workload=workload,
+        strategy=strategy,
+        seed=seed,
+        history=history,
+        metrics=_trace_metrics(history),
+        trace_path=trace_path,
+    )
+
+
+def compare(
+    workload: str,
+    strategies: "tuple[str, ...]",
+    *,
+    seed: int = 0,
+    budget: "int | None" = None,
+    jobs: "int | None" = None,
+    trace: "bool | str" = False,
+    scale: "str | ExperimentScale" = "quick",
+    trials: "int | None" = None,
+    alpha: float = 0.05,
+    alphas: "tuple[float, ...]" = DEFAULT_ALPHAS,
+    cache_dir: "str | None" = None,
+    trace_summary: bool = True,
+) -> CompareResult:
+    """Run several strategies against one shared pool/test split.
+
+    All (strategy, trial) jobs are submitted in a single engine batch, so
+    ``jobs=N`` parallelism spans strategies.  Parameters are as in
+    :func:`run`; ``strategies`` is any iterable of registered names.
+    """
+    strategies = tuple(strategies)
+    for name in strategies:
+        get_strategy(name, alpha=alpha)
+    resolved = _resolve_scale(scale)
+    if budget is not None:
+        resolved = dataclasses.replace(resolved, n_max=int(budget))
+    if trials is not None:
+        resolved = dataclasses.replace(resolved, n_trials=int(trials))
+    engine = _engine_config(jobs, cache_dir)
+
+    def execute() -> "dict[str, AveragedTrace]":
+        return comparison_traces(
+            workload,
+            strategies,
+            resolved,
+            seed=seed,
+            alpha=alpha,
+            alphas=alphas,
+            engine=engine,
+        )
+
+    traces, trace_path = _traced(execute, trace, trace_summary)
+    return CompareResult(
+        workload=workload,
+        strategies=strategies,
+        seed=seed,
+        traces=traces,
+        metrics={name: _trace_metrics(t) for name, t in traces.items()},
+        trace_path=trace_path,
+    )

@@ -11,13 +11,18 @@ Examples
     repro list                         # benchmarks and strategies
     repro all --scale smoke -o results # everything, persisted as JSON
     repro fig2 --jobs 8 --cache-dir ~/.cache/repro   # parallel + resumable
+    repro fig6 --trace                 # + JSONL telemetry trace & summary
+    repro trace summarize trace-*.jsonl
 
 Scales: ``paper`` (the full Section III-D protocol), ``quick`` (default;
 minutes on one core), ``smoke`` (seconds, CI-sized).
 
 Every figure subcommand accepts ``--jobs N`` (fan trials over N worker
-processes; traces are bit-identical to serial) and ``--cache-dir DIR``
-(persist completed trials so re-runs and killed runs skip finished work).
+processes; traces are bit-identical to serial), ``--cache-dir DIR``
+(persist completed trials so re-runs and killed runs skip finished work),
+and ``--trace [FILE]`` (record telemetry spans — see
+:mod:`repro.telemetry` — into a JSONL file and print a per-phase summary;
+results are bit-identical with tracing on or off).
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from repro._version import __version__
 from repro.experiments.config import SCALES
 from repro.experiments.report import dump_json
 from repro.kernels import SPAPT_KERNEL_NAMES
-from repro.sampling import STRATEGY_NAMES
+from repro.sampling import STRATEGY_NAMES, available_strategies
 from repro.workloads import all_benchmarks
 
 __all__ = ["main", "build_parser"]
@@ -76,10 +81,27 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="suppress engine telemetry on stderr",
         )
+        p.add_argument(
+            "--trace",
+            nargs="?",
+            const=True,
+            default=None,
+            metavar="FILE",
+            help="record telemetry spans to a JSONL trace "
+            "(default file: trace-<run_id>.jsonl) and print a per-phase "
+            "summary to stderr; results are unchanged",
+        )
         return p
 
     sub.add_parser("list", help="list benchmarks and strategies")
     sub.add_parser("tables", help="print Tables I-IV")
+
+    pt = sub.add_parser("trace", help="telemetry trace utilities")
+    tsub = pt.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser(
+        "summarize", help="print the per-phase summary of a JSONL trace file"
+    )
+    ts.add_argument("file", help="trace file written by --trace or repro.api")
 
     p2 = add("fig2", "RMSE vs #samples for the 12 kernels (also computes Fig. 3)")
     p2.add_argument("--kernels", nargs="+", default=list(SPAPT_KERNEL_NAMES))
@@ -126,13 +148,24 @@ def main(argv: "list[str] | None" = None) -> int:
     from repro.experiments import figures
 
     if args.command == "list":
+        extras = [s for s in available_strategies() if s not in STRATEGY_NAMES]
         print("benchmarks:", ", ".join(all_benchmarks()))
-        print("strategies:", ", ".join(STRATEGY_NAMES))
+        print("strategies:", ", ".join(STRATEGY_NAMES),
+              f"(+ variants: {', '.join(extras)})" if extras else "")
         print("scales:    ", ", ".join(sorted(SCALES)))
         return 0
 
     if args.command == "tables":
         print(figures.tables_1_to_4().render())
+        return 0
+
+    if args.command == "trace":
+        from repro import telemetry
+
+        try:
+            print(telemetry.summarize(telemetry.read_trace(args.file)))
+        except BrokenPipeError:  # e.g. `repro trace summarize f | head`
+            sys.stderr.close()
         return 0
 
     from repro.engine import EngineConfig, engine_from_env, use_engine
@@ -144,6 +177,14 @@ def main(argv: "list[str] | None" = None) -> int:
         progress=base.progress and not args.no_progress,
     )
     with use_engine(engine):
+        if args.trace is not None:
+            from repro.api import _traced
+
+            code, path = _traced(
+                lambda: _dispatch(args, figures), args.trace, summary=True
+            )
+            print(f"[trace written {path}]", file=sys.stderr)
+            return code
         return _dispatch(args, figures)
 
 

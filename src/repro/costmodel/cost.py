@@ -19,6 +19,7 @@ from repro.costmodel.quirks import InteractionQuirk
 from repro.costmodel.transform import effective_tile_extents, transform_effects
 from repro.machine.cache import average_access_latency
 from repro.machine.model import MachineModel
+from repro.telemetry import counters, span
 
 __all__ = ["KernelCostModel"]
 
@@ -90,6 +91,11 @@ class KernelCostModel:
     def true_times(self, X: np.ndarray) -> np.ndarray:
         """Noise-free seconds per encoded configuration row."""
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        counters.inc("costmodel.evaluations", len(X))
+        with span("costmodel.evaluate", kernel=self.nest.name, n=len(X)):
+            return self._true_times_inner(X)
+
+    def _true_times_inner(self, X: np.ndarray) -> np.ndarray:
         tiles, unroll, regtile, sr, vec = self.split_columns(X)
         nest = self.nest
 

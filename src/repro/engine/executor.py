@@ -23,6 +23,7 @@ degrades gracefully to the serial path with identical results.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -30,11 +31,13 @@ from pickle import PicklingError
 
 import multiprocessing
 
+from repro import telemetry
 from repro.active import LearningHistory
 from repro.engine.context import EngineConfig, current_engine
 from repro.engine.jobs import TrialJob
 from repro.engine.progress import EngineStats, ProgressReporter
 from repro.engine.store import ResultStore
+from repro.telemetry.sink import run_id_for_keys
 
 __all__ = ["run_jobs", "execute_job"]
 
@@ -60,9 +63,11 @@ def _prepared(benchmark_name: str, scale, seed: int) -> tuple:
     key = (benchmark_name, scale, int(seed))
     entry = _PREPARED.get(key)
     if entry is None:
-        benchmark = get_benchmark(benchmark_name)
-        data_rng = derive(seed, "data", benchmark_name)
-        pool, X_test, y_test = prepare_data(benchmark, scale, data_rng)
+        with telemetry.span("engine.prepare", benchmark=benchmark_name):
+            benchmark = get_benchmark(benchmark_name)
+            data_rng = derive(seed, "data", benchmark_name)
+            pool, X_test, y_test = prepare_data(benchmark, scale, data_rng)
+        telemetry.inc("engine.prepared_benchmarks")
         entry = (benchmark, pool, X_test, y_test)
         _PREPARED[key] = entry
         while len(_PREPARED) > _PREPARED_MAX:
@@ -93,10 +98,45 @@ def execute_job(job: TrialJob) -> LearningHistory:
     )
 
 
-def _execute_keyed(item: "tuple[str, TrialJob]") -> "tuple[str, LearningHistory]":
-    """Pool-friendly wrapper returning ``(key, history)`` pairs."""
-    key, job = item
-    return key, execute_job(job)
+def _traced_execute(key: str, job: TrialJob, submit_ts: float) -> LearningHistory:
+    """Run one job under its ``engine.job`` span (queue wait annotated)."""
+    with telemetry.span(
+        "engine.job",
+        key=key[:12],
+        job=job.describe(),
+        queue_wait=time.time() - submit_ts,
+    ):
+        return execute_job(job)
+
+
+def _execute_keyed(
+    item: "tuple[str, TrialJob, float]",
+) -> "tuple[str, LearningHistory, list, dict]":
+    """Pool-friendly wrapper: runs one job in a worker process.
+
+    Besides the history it ships the worker's telemetry for this job back
+    through the result channel — the span events drained from the local
+    ring buffer (empty when tracing is off) and the counter deltas — so
+    the parent can merge them and ``--jobs N`` traces stay complete.
+    """
+    key, job, submit_ts = item
+    history = _traced_execute(key, job, submit_ts)
+    return key, history, telemetry.drain_events(), telemetry.drain()
+
+
+def _worker_init(trace_on: bool) -> None:
+    """Reset fork-inherited telemetry state in a fresh pool worker.
+
+    A forked worker inherits the parent's ring buffer and counters; left
+    alone they would be drained and re-absorbed by the parent, double
+    counting everything recorded before the pool started.
+    """
+    telemetry.clear()
+    telemetry.reset()
+    if trace_on:
+        telemetry.enable()
+    else:
+        telemetry.disable()
 
 
 def _mp_context():
@@ -115,7 +155,7 @@ def _run_serial(
 ) -> None:
     for key, job in pending:
         reporter.job_started(job.describe())
-        history = execute_job(job)
+        history = _traced_execute(key, job, time.time())
         results[key] = history
         if store is not None:
             store.put(job, history)
@@ -139,17 +179,22 @@ def _run_parallel(
     remaining = dict(pending)
     try:
         with ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=_mp_context()
+            max_workers=n_workers,
+            mp_context=_mp_context(),
+            initializer=_worker_init,
+            initargs=(telemetry.enabled(),),
         ) as pool:
             futures = {}
             for key, job in pending:
-                futures[pool.submit(_execute_keyed, (key, job))] = key
+                futures[pool.submit(_execute_keyed, (key, job, time.time()))] = key
                 reporter.job_started(job.describe())
             not_done = set(futures)
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    key, history = fut.result()
+                    key, history, events, counter_delta = fut.result()
+                    telemetry.absorb_events(events)
+                    telemetry.absorb(counter_delta)
                     results[key] = history
                     remaining.pop(key, None)
                     if store is not None:
@@ -186,19 +231,25 @@ def run_jobs(
 
     results: "dict[str, LearningHistory]" = {}
     pending: "list[tuple[str, TrialJob]]" = []
-    for key, job in unique.items():
-        cached = store.get(key) if store is not None else None
-        if cached is not None:
-            results[key] = cached
-            reporter.job_cached(job.describe())
-        else:
-            pending.append((key, job))
+    with telemetry.span(
+        "engine.run",
+        run_id=run_id_for_keys(list(unique)),
+        total=len(unique),
+        workers=config.jobs,
+    ):
+        for key, job in unique.items():
+            cached = store.get(key) if store is not None else None
+            if cached is not None:
+                results[key] = cached
+                reporter.job_cached(job.describe())
+            else:
+                pending.append((key, job))
 
-    n_workers = min(config.jobs, len(pending))
-    if pending and n_workers > 1:
-        pending = _run_parallel(pending, results, store, reporter, n_workers)
-    if pending:
-        _run_serial(pending, results, store, reporter)
+        n_workers = min(config.jobs, len(pending))
+        if pending and n_workers > 1:
+            pending = _run_parallel(pending, results, store, reporter, n_workers)
+        if pending:
+            _run_serial(pending, results, store, reporter)
 
     stats = EngineStats(
         total=len(unique),

@@ -10,6 +10,12 @@ and a monotonic clock, so it can wrap the hot scheduling loop without
 perturbing timings.  The final summary line always prints (even with
 throttling), making cache-hit counts visible in CI logs — the acceptance
 signal for resume semantics.
+
+The lifecycle events also feed the unified metric namespace in
+:mod:`repro.telemetry.counters` (``engine.jobs.executed``,
+``engine.store.resume_hits``), so engine accounting lands in the same
+export as the forest/learner counters instead of living only in this
+reporter's private integers.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
+
+from repro.telemetry import counters
 
 __all__ = ["ProgressReporter", "EngineStats"]
 
@@ -69,6 +77,7 @@ class ProgressReporter:
         """A job was satisfied from the result store without executing."""
         self.done += 1
         self.cached += 1
+        counters.inc("engine.store.resume_hits")
         self._emit(f"cache hit {label}" if label else None)
 
     def job_finished(self, label: str = "") -> None:
@@ -76,6 +85,7 @@ class ProgressReporter:
         self.running = max(0, self.running - 1)
         self.done += 1
         self.executed += 1
+        counters.inc("engine.jobs.executed")
         self._emit(f"finished {label}" if label else None)
 
     # -- rendering ---------------------------------------------------------

@@ -9,7 +9,13 @@ text series and CSV for a plot-free environment.
 
 from repro.experiments.config import ExperimentScale, SCALES
 from repro.experiments.aggregate import AveragedTrace, average_histories
-from repro.experiments.runner import prepare_data, run_comparison, run_strategy
+from repro.experiments.runner import (
+    comparison_traces,
+    prepare_data,
+    run_comparison,
+    run_strategy,
+    strategy_trace,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -17,6 +23,9 @@ __all__ = [
     "AveragedTrace",
     "average_histories",
     "prepare_data",
+    "strategy_trace",
+    "comparison_traces",
+    # deprecated aliases (shims emitting DeprecationWarning)
     "run_strategy",
     "run_comparison",
 ]

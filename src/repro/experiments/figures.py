@@ -16,7 +16,7 @@ import numpy as np
 from repro.experiments.aggregate import AveragedTrace
 from repro.experiments.config import ExperimentScale
 from repro.experiments.report import format_table, series_table, sparkline
-from repro.experiments.runner import prepare_data, run_comparison, run_single
+from repro.experiments.runner import prepare_data, comparison_traces, run_single
 from repro.kernels import SPAPT_KERNEL_NAMES
 from repro.machine import platform_table
 from repro.metrics import speedup_at_level
@@ -129,7 +129,7 @@ def fig2_fig3(
         description=f"cumulative labeling cost vs #samples (scale={scale.name})",
     )
     for kernel in kernels:
-        traces = run_comparison(kernel, strategies, scale, seed=seed, alpha=alpha)
+        traces = comparison_traces(kernel, strategies, scale, seed=seed, alpha=alpha)
         rmse_panel, cc_panel = _comparison_panels(traces, alpha_key)
         fig2.panels[kernel] = rmse_panel
         fig3.panels[kernel] = cc_panel
@@ -160,7 +160,7 @@ def fig4_fig5(
         description="RMSE vs cumulative time cost: kripke, hypre",
     )
     for app in APP_NAMES:
-        traces = run_comparison(app, strategies, scale, seed=seed, alpha=alpha)
+        traces = comparison_traces(app, strategies, scale, seed=seed, alpha=alpha)
         rmse_panel, cc_panel = _comparison_panels(traces, alpha_key)
         fig4.panels[f"{app} (a) RMSE"] = rmse_panel
         fig4.panels[f"{app} (b) CC"] = cc_panel
@@ -203,7 +203,7 @@ def fig6(
     )
     for a in alphas:
         key = f"{a:g}"
-        traces = run_comparison(
+        traces = comparison_traces(
             benchmark, ("pbus", "pwu"), scale, seed=seed, alpha=a, alphas=(a,)
         )
         any_trace = next(iter(traces.values()))
@@ -246,7 +246,7 @@ def fig7(
         if precomputed is not None and bench in precomputed:
             traces = precomputed[bench]
         else:
-            traces = run_comparison(
+            traces = comparison_traces(
                 bench, ("pbus", "pwu"), scale, seed=seed, alpha=alpha
             )
         sp, level = speedup_at_level(

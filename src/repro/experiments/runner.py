@@ -1,12 +1,19 @@
 """Executing the paper's protocol: data preparation and repeated runs.
 
 :func:`prepare_data` and :func:`run_single` are the process-local
-primitives (one split, one Algorithm 1 run); :func:`run_strategy` and
-:func:`run_comparison` schedule repeated trials through the execution
+primitives (one split, one Algorithm 1 run); :func:`strategy_trace` and
+:func:`comparison_traces` schedule repeated trials through the execution
 engine (:mod:`repro.engine`) for parallelism, caching, and resume.
+
+The historical names :func:`run_strategy`/:func:`run_comparison` remain
+as deprecation shims; new code should call :func:`repro.api.run` /
+:func:`repro.api.compare` (the typed facade) or the canonical functions
+here.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -14,11 +21,18 @@ from repro.active import ActiveLearner, LearnerConfig, LearningHistory
 from repro.experiments.aggregate import AveragedTrace, average_histories
 from repro.experiments.config import ExperimentScale
 from repro.rng import derive
-from repro.sampling import make_strategy
+from repro.sampling import get_strategy
 from repro.space import DataPool
 from repro.workloads import Benchmark
 
-__all__ = ["prepare_data", "run_single", "run_strategy", "run_comparison"]
+__all__ = [
+    "prepare_data",
+    "run_single",
+    "strategy_trace",
+    "comparison_traces",
+    "run_strategy",
+    "run_comparison",
+]
 
 #: The α values every run evaluates (Section III-D).
 DEFAULT_ALPHAS: tuple[float, ...] = (0.01, 0.05, 0.10)
@@ -103,7 +117,7 @@ def run_single(
     """
     rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
     if isinstance(strategy_name, str):
-        strategy = make_strategy(strategy_name, alpha=alpha)
+        strategy = get_strategy(strategy_name, alpha=alpha)
     else:
         strategy = strategy_name
     pool.reset()
@@ -119,7 +133,7 @@ def run_single(
     return learner.run()
 
 
-def run_strategy(
+def strategy_trace(
     benchmark_name: str,
     strategy_name: "str | object",
     scale: ExperimentScale,
@@ -156,7 +170,7 @@ def run_strategy(
     return average_histories(label, [results[j.key()] for j in jobs])
 
 
-def run_comparison(
+def comparison_traces(
     benchmark_name: str,
     strategy_names: "tuple[str, ...]",
     scale: ExperimentScale,
@@ -187,3 +201,31 @@ def run_comparison(
         s: average_histories(s, [results[j.key()] for j in jobs])
         for s, jobs in per_strategy.items()
     }
+
+
+def run_strategy(*args, **kwargs) -> AveragedTrace:
+    """Deprecated name for :func:`strategy_trace`; use :func:`repro.api.run`.
+
+    Forwards all positional and keyword arguments losslessly.
+    """
+    warnings.warn(
+        "run_strategy() is deprecated; call repro.api.run() or "
+        "repro.experiments.strategy_trace() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return strategy_trace(*args, **kwargs)
+
+
+def run_comparison(*args, **kwargs) -> "dict[str, AveragedTrace]":
+    """Deprecated name for :func:`comparison_traces`; use :func:`repro.api.compare`.
+
+    Forwards all positional and keyword arguments losslessly.
+    """
+    warnings.warn(
+        "run_comparison() is deprecated; call repro.api.compare() or "
+        "repro.experiments.comparison_traces() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return comparison_traces(*args, **kwargs)

@@ -24,6 +24,7 @@ from repro.forest.packed import PackedForest
 from repro.forest.tree import RegressionTree
 from repro.forest.uncertainty import across_tree_std, total_variance_std
 from repro.rng import as_generator
+from repro.telemetry import counters, span
 
 __all__ = ["RandomForestRegressor"]
 
@@ -113,7 +114,11 @@ class RandomForestRegressor:
         if len(X) != len(y):
             raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
         self._X, self._y = X.copy(), y.copy()
-        self.trees_ = [self._fit_one_tree(X, y) for _ in range(self.n_estimators)]
+        with span("forest.fit", trees=self.n_estimators, n_train=len(y)):
+            self.trees_ = [
+                self._fit_one_tree(X, y) for _ in range(self.n_estimators)
+            ]
+        counters.inc("forest.trees_fit", self.n_estimators)
         self._packed = None
         self._generation += 1
         self._tree_gens[:] = self._generation
@@ -143,8 +148,10 @@ class RandomForestRegressor:
         self._y = np.concatenate([self._y, y_new])
         n_refresh = max(1, int(round(refresh_fraction * self.n_estimators)))
         which = self.rng.choice(self.n_estimators, size=n_refresh, replace=False)
-        for t in which:
-            self.trees_[t] = self._fit_one_tree(self._X, self._y)
+        with span("forest.update", refreshed=n_refresh, n_train=len(self._y)):
+            for t in which:
+                self.trees_[t] = self._fit_one_tree(self._X, self._y)
+        counters.inc("forest.trees_fit", n_refresh)
         self._packed = None
         self._generation += 1
         self._tree_gens[which] = self._generation
@@ -212,13 +219,15 @@ class RandomForestRegressor:
         if cache is None or cache["ref"] is not pool_X or (
             need_v and cache["V"] is None
         ):
-            Xv = self._check_query(pool_X)
-            packed = self.packed()
-            if need_v:
-                P, V, _ = packed.leaf_stats_all(Xv)
-            else:
-                P = packed.predict_all(Xv)
-                V = None
+            counters.inc("forest.pool_cache.misses")
+            with span("forest.pool_score", trees=self.n_estimators, full=1):
+                Xv = self._check_query(pool_X)
+                packed = self.packed()
+                if need_v:
+                    P, V, _ = packed.leaf_stats_all(Xv)
+                else:
+                    P = packed.predict_all(Xv)
+                    V = None
             cache = self._pool_cache = {
                 "ref": pool_X,
                 "Xv": Xv,
@@ -227,17 +236,22 @@ class RandomForestRegressor:
                 "gens": self._tree_gens.copy(),
             }
         else:
+            counters.inc("forest.pool_cache.hits")
             stale = np.flatnonzero(cache["gens"] != self._tree_gens)
             if stale.size:
-                packed = self.packed()
-                if need_v:
-                    leaves = packed._descend(
-                        cache["Xv"], packed.offsets[stale]
-                    )
-                    cache["P"][stale] = packed.value[leaves]
-                    cache["V"][stale] = packed.variance[leaves]
-                else:
-                    cache["P"][stale] = packed.predict_trees(cache["Xv"], stale)
+                counters.inc("forest.pool_cache.stale_trees", int(stale.size))
+                with span("forest.pool_score", trees=int(stale.size), full=0):
+                    packed = self.packed()
+                    if need_v:
+                        leaves = packed._descend(
+                            cache["Xv"], packed.offsets[stale]
+                        )
+                        cache["P"][stale] = packed.value[leaves]
+                        cache["V"][stale] = packed.variance[leaves]
+                    else:
+                        cache["P"][stale] = packed.predict_trees(
+                            cache["Xv"], stale
+                        )
                 cache["gens"] = self._tree_gens.copy()
         # Fancy column-indexing yields an F-contiguous result, and axis-0
         # reductions associate differently over a contiguous reduction axis

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forest import _cgrower
+from repro.telemetry import counters, span
 
 __all__ = ["PackedForest"]
 
@@ -167,6 +168,11 @@ class PackedForest:
         still-internal lanes each level, so its per-level cost shrinks with
         depth.
         """
+        counters.inc("forest.trees_traversed", len(roots))
+        with span("forest.traverse", trees=len(roots), rows=X.shape[0]):
+            return self._descend_inner(X, roots)
+
+    def _descend_inner(self, X: np.ndarray, roots: np.ndarray) -> np.ndarray:
         lib = _cgrower.load()
         if lib is not None:
             T = len(roots)

@@ -25,7 +25,13 @@ from repro.sampling.bestperf import BestPerfSampling
 from repro.sampling.maxu import MaxUncertaintySampling
 from repro.sampling.pbus import PBUSampling
 from repro.sampling.pwu import PWUSampling, pwu_scores
-from repro.sampling.registry import STRATEGY_NAMES, make_strategy
+from repro.sampling.registry import (
+    STRATEGY_NAMES,
+    available_strategies,
+    get_strategy,
+    make_strategy,
+    register_strategy,
+)
 
 __all__ = [
     "SamplingStrategy",
@@ -38,5 +44,8 @@ __all__ = [
     "PWUSampling",
     "pwu_scores",
     "STRATEGY_NAMES",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
     "make_strategy",
 ]

@@ -1,6 +1,21 @@
-"""Name-based strategy construction for the experiment drivers."""
+"""The single named-strategy registry.
+
+Every component that resolves a strategy *name* — the CLI, the engine's
+:class:`~repro.engine.jobs.TrialJob`, :mod:`repro.api`, the benchmark
+suite — goes through :func:`get_strategy`; there is deliberately no other
+name→class mapping in the tree.  Factories are registered with
+:func:`register_strategy` (downstream experiments can add their own), and
+unknown names raise :class:`KeyError` with a did-you-mean suggestion.
+
+:data:`STRATEGY_NAMES` stays the paper's six strategies in plotting
+order; the registry additionally carries the ablation variants (``cv``,
+``pwu-rank``, ``ei``, ``pwu-cost``), which :func:`available_strategies`
+lists but the figure drivers do not plot.
+"""
 
 from __future__ import annotations
+
+import difflib
 
 from repro.sampling.base import SamplingStrategy
 from repro.sampling.bestperf import BestPerfSampling
@@ -10,7 +25,13 @@ from repro.sampling.pbus import PBUSampling
 from repro.sampling.pwu import PWUSampling
 from repro.sampling.random_ import UniformRandomSampling
 
-__all__ = ["STRATEGY_NAMES", "make_strategy"]
+__all__ = [
+    "STRATEGY_NAMES",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "make_strategy",
+]
 
 #: All strategies compared in the paper's figures, in plotting order.
 STRATEGY_NAMES: tuple[str, ...] = (
@@ -22,44 +43,81 @@ STRATEGY_NAMES: tuple[str, ...] = (
     "pwu",
 )
 
+#: name → factory taking the PWU ``alpha`` (ignored by most strategies).
+_REGISTRY: "dict[str, callable]" = {}
+
+
+def register_strategy(name: str, factory, overwrite: bool = False) -> None:
+    """Register ``factory(alpha) -> SamplingStrategy`` under ``name``.
+
+    Registering an existing name raises unless ``overwrite=True`` — a
+    silently shadowed strategy would corrupt comparisons.
+    """
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"strategy {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Every registered strategy name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_strategy(name: str, alpha: float = 0.05) -> SamplingStrategy:
+    """Instantiate a registered strategy by name.
+
+    ``alpha`` parameterises PWU and its cost-aware variant (Equation 1);
+    the biased baselines keep the paper's top-10% setting.  Unknown names
+    raise :class:`KeyError` with a closest-match suggestion.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        close = difflib.get_close_matches(name, _REGISTRY, n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise KeyError(
+            f"unknown strategy {name!r}{hint} "
+            f"(known: {', '.join(sorted(_REGISTRY))})"
+        ) from None
+    return factory(alpha)
+
 
 def make_strategy(name: str, alpha: float = 0.05) -> SamplingStrategy:
-    """Instantiate a strategy by name.
+    """Alias of :func:`get_strategy` (the historical constructor name)."""
+    return get_strategy(name, alpha=alpha)
 
-    ``alpha`` parameterises PWU (Equation 1); the biased baselines keep the
-    paper's top-10% setting.  Besides the paper's six strategies, the
-    ablation variants ``cv`` (σ/μ) and ``pwu-rank`` (rank-weighted σ) are
-    constructible here; they are not part of :data:`STRATEGY_NAMES`.
-    """
-    if name == "random":
-        return UniformRandomSampling()
-    if name == "brs":
-        return BiasedRandomSampling(top_fraction=0.10)
-    if name == "bestperf":
-        return BestPerfSampling()
-    if name == "maxu":
-        return MaxUncertaintySampling()
-    if name == "pbus":
-        return PBUSampling(candidate_fraction=0.10)
-    if name == "pwu":
-        return PWUSampling(alpha=alpha)
-    if name == "cv":
-        from repro.sampling.variants import CoefficientOfVariationSampling
 
-        return CoefficientOfVariationSampling()
-    if name == "pwu-rank":
-        from repro.sampling.variants import RankWeightedUncertaintySampling
+def _cv(alpha: float) -> SamplingStrategy:
+    from repro.sampling.variants import CoefficientOfVariationSampling
 
-        return RankWeightedUncertaintySampling()
-    if name == "ei":
-        from repro.sampling.ei import ExpectedImprovementSampling
+    return CoefficientOfVariationSampling()
 
-        return ExpectedImprovementSampling()
-    if name == "pwu-cost":
-        from repro.sampling.variants import CostAwarePWUSampling
 
-        return CostAwarePWUSampling(alpha=alpha)
-    raise KeyError(
-        f"unknown strategy {name!r}; known: {', '.join(STRATEGY_NAMES)} "
-        f"(+ ablation variants: cv, pwu-rank, ei, pwu-cost)"
-    )
+def _pwu_rank(alpha: float) -> SamplingStrategy:
+    from repro.sampling.variants import RankWeightedUncertaintySampling
+
+    return RankWeightedUncertaintySampling()
+
+
+def _ei(alpha: float) -> SamplingStrategy:
+    from repro.sampling.ei import ExpectedImprovementSampling
+
+    return ExpectedImprovementSampling()
+
+
+def _pwu_cost(alpha: float) -> SamplingStrategy:
+    from repro.sampling.variants import CostAwarePWUSampling
+
+    return CostAwarePWUSampling(alpha=alpha)
+
+
+register_strategy("random", lambda alpha: UniformRandomSampling())
+register_strategy("brs", lambda alpha: BiasedRandomSampling(top_fraction=0.10))
+register_strategy("bestperf", lambda alpha: BestPerfSampling())
+register_strategy("maxu", lambda alpha: MaxUncertaintySampling())
+register_strategy("pbus", lambda alpha: PBUSampling(candidate_fraction=0.10))
+register_strategy("pwu", lambda alpha: PWUSampling(alpha=alpha))
+register_strategy("cv", _cv)
+register_strategy("pwu-rank", _pwu_rank)
+register_strategy("ei", _ei)
+register_strategy("pwu-cost", _pwu_cost)

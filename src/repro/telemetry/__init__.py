@@ -1,0 +1,87 @@
+"""Structured tracing and metrics for the engine/learner/forest stack.
+
+Three pieces, all dependency-free:
+
+- :mod:`repro.telemetry.spans` — nestable timed spans recorded into a
+  process-local ring buffer, with a near-zero-cost no-op path while
+  tracing is disabled (the default; enable with ``REPRO_TRACE=1`` or the
+  CLI's ``--trace``).
+- :mod:`repro.telemetry.counters` — always-on monotonic counters and
+  gauges (pool-cache hits, trees re-traversed, evaluations, store
+  resume hits) in one namespace.
+- :mod:`repro.telemetry.sink` — JSONL trace export with a
+  content-addressed run id, read-back, and the per-phase summary table
+  behind ``repro trace summarize``.
+
+The executor drains worker-process buffers through its result channel
+and merges them here, so ``--jobs N`` traces are complete.  Tracing
+never perturbs experiment results: traced and untraced runs are
+bit-identical (``tests/test_trace_equivalence.py``).
+"""
+
+from .counters import (
+    absorb,
+    counters_snapshot,
+    drain,
+    gauge,
+    gauges_snapshot,
+    inc,
+    reset,
+)
+from .sink import (
+    LEARNER_PHASES,
+    TRACE_SCHEMA_VERSION,
+    phase_coverage,
+    phase_totals,
+    read_trace,
+    run_id_for_keys,
+    summarize,
+    write_trace,
+)
+from .spans import (
+    DEFAULT_CAPACITY,
+    TRACE_ENV,
+    absorb_events,
+    clear,
+    disable,
+    drain_events,
+    dropped_events,
+    enable,
+    enabled,
+    record_event,
+    span,
+    tracing,
+)
+
+__all__ = [
+    # spans
+    "span",
+    "enable",
+    "disable",
+    "enabled",
+    "tracing",
+    "record_event",
+    "absorb_events",
+    "drain_events",
+    "clear",
+    "dropped_events",
+    "TRACE_ENV",
+    "DEFAULT_CAPACITY",
+    # counters
+    "inc",
+    "gauge",
+    "counters_snapshot",
+    "gauges_snapshot",
+    "drain",
+    "absorb",
+    "reset",
+    # sink
+    "TRACE_SCHEMA_VERSION",
+    "LEARNER_PHASES",
+    "run_id_for_keys",
+    "write_trace",
+    "read_trace",
+    "phase_totals",
+    "phase_coverage",
+    "summarize",
+]

@@ -1,0 +1,197 @@
+"""Nestable timed spans recorded into a process-local ring buffer.
+
+A span times one named phase of work::
+
+    with span("forest.fit", trees=30):
+        ...
+
+When tracing is disabled (the default), :func:`span` returns a shared
+no-op context manager — the cost is one module-global load and one
+function call, so instrumentation can live on hot paths.  Tracing is
+switched on by the ``REPRO_TRACE`` environment variable, the CLI's
+``--trace`` flag, or programmatically via :func:`enable` /
+:func:`tracing`.
+
+Events land in a bounded ring buffer (oldest events are dropped once
+``capacity`` is exceeded; the drop count is recorded).  Each event is a
+plain dict — ``{"kind": "span", "name", "ts", "dur", "pid", "tid",
+"depth", "attrs"}`` — with ``ts`` an epoch timestamp (comparable across
+processes) and ``dur`` measured with ``perf_counter``.  Worker processes
+drain their buffer after every job and the executor merges the events
+back into the parent's buffer (see :mod:`repro.engine.executor`), so a
+``--jobs N`` trace is complete.
+
+Spans never touch any random-number generator and never change control
+flow: traced and untraced runs produce bit-identical experiment
+histories (pinned by ``tests/test_trace_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "span",
+    "enable",
+    "disable",
+    "enabled",
+    "tracing",
+    "record_event",
+    "absorb_events",
+    "drain_events",
+    "clear",
+    "dropped_events",
+    "TRACE_ENV",
+    "DEFAULT_CAPACITY",
+]
+
+#: Environment variable that switches tracing on at import time.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Ring-buffer capacity (events); the oldest events are dropped beyond it.
+DEFAULT_CAPACITY = 1 << 16
+
+_enabled: bool = os.environ.get(TRACE_ENV, "") not in ("", "0")
+_lock = threading.Lock()
+_buffer: "deque[dict]" = deque(maxlen=DEFAULT_CAPACITY)
+_dropped = 0
+_tls = threading.local()
+
+
+def enabled() -> bool:
+    """Whether span recording is currently on."""
+    return _enabled
+
+
+def enable() -> None:
+    """Switch span recording on (idempotent)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Switch span recording off; buffered events are kept until drained."""
+    global _enabled
+    _enabled = False
+
+
+@contextlib.contextmanager
+def tracing(on: bool = True):
+    """Scope the enabled state (used by tests and the API facade).
+
+    Restores the previous enabled state on exit; buffered events are left
+    for the caller to drain.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def record_event(event: dict) -> None:
+    """Append one event dict to the ring buffer (drops oldest when full)."""
+    global _dropped
+    with _lock:
+        if len(_buffer) == _buffer.maxlen:
+            _dropped += 1
+        _buffer.append(event)
+
+
+def absorb_events(events: "list[dict]") -> None:
+    """Merge events drained from another process into the local buffer."""
+    global _dropped
+    with _lock:
+        for event in events:
+            if len(_buffer) == _buffer.maxlen:
+                _dropped += 1
+            _buffer.append(event)
+
+
+def drain_events() -> "list[dict]":
+    """Return all buffered events and clear the buffer."""
+    with _lock:
+        events = list(_buffer)
+        _buffer.clear()
+    return events
+
+
+def clear() -> None:
+    """Discard all buffered events and reset the drop counter."""
+    global _dropped
+    with _lock:
+        _buffer.clear()
+        _dropped = 0
+
+
+def dropped_events() -> int:
+    """How many events the ring buffer has dropped since the last clear."""
+    return _dropped
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span: records one event when its ``with`` block exits."""
+
+    __slots__ = ("name", "attrs", "_depth", "_ts", "_t0")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        depth = getattr(_tls, "depth", 0)
+        self._depth = depth
+        _tls.depth = depth + 1
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        _tls.depth = self._depth
+        event = {
+            "kind": "span",
+            "name": self.name,
+            "ts": self._ts,
+            "dur": dur,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "depth": self._depth,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        record_event(event)
+        return False
+
+
+def span(name: str, **attrs):
+    """A context manager timing one named phase.
+
+    ``attrs`` are free-form JSON-serialisable annotations (counts, sizes,
+    keys).  While tracing is disabled this returns a shared no-op object
+    without touching the clock — the disabled fast path.
+    """
+    if not _enabled:
+        return _NOOP
+    return _Span(name, attrs)

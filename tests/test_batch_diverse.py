@@ -91,9 +91,9 @@ class TestDiverseBatch:
             DiverseBatchSampling(PWUSampling(0.05), bandwidth_factor=0.0)
 
     def test_runs_in_algorithm_1(self, tiny_scale):
-        from repro.experiments.runner import run_strategy
+        from repro.experiments.runner import strategy_trace
 
-        trace = run_strategy(
+        trace = strategy_trace(
             "mvt",
             DiverseBatchSampling(PWUSampling(0.05)),
             tiny_scale,

@@ -65,10 +65,10 @@ class TestMeasurementDeterminism:
 
 class TestEndToEndDeterminism:
     def test_full_experiment_reproducible(self, tiny_scale):
-        from repro.experiments.runner import run_strategy
+        from repro.experiments.runner import strategy_trace
 
-        a = run_strategy("mvt", "pwu", tiny_scale, seed=42)
-        b = run_strategy("mvt", "pwu", tiny_scale, seed=42)
+        a = strategy_trace("mvt", "pwu", tiny_scale, seed=42)
+        b = strategy_trace("mvt", "pwu", tiny_scale, seed=42)
         assert np.array_equal(a.cc_mean, b.cc_mean)
         for key in a.rmse_mean:
             assert np.array_equal(a.rmse_mean[key], b.rmse_mean[key])

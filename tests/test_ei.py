@@ -60,9 +60,9 @@ class TestStrategy:
         assert make_strategy("ei").name == "ei"
 
     def test_runs_in_algorithm_1(self, tiny_scale):
-        from repro.experiments.runner import run_strategy
+        from repro.experiments.runner import strategy_trace
 
-        trace = run_strategy("mvt", "ei", tiny_scale, seed=0)
+        trace = strategy_trace("mvt", "ei", tiny_scale, seed=0)
         assert trace.n_train[-1] == tiny_scale.n_max
 
 

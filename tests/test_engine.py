@@ -25,7 +25,7 @@ from repro.engine import (
 )
 from repro.experiments import runner
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import run_comparison, run_strategy
+from repro.experiments.runner import comparison_traces, strategy_trace
 from repro.sampling.pwu import PWUSampling
 
 
@@ -180,7 +180,7 @@ class TestHistoryRoundTrip:
         """Store artifacts and dump_json share one schema end to end."""
         from repro.experiments.aggregate import AveragedTrace
 
-        trace = run_strategy("mvt", "pwu", two_trial_scale, seed=0, engine=_quiet())
+        trace = strategy_trace("mvt", "pwu", two_trial_scale, seed=0, engine=_quiet())
         clone = AveragedTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
         assert clone.strategy == trace.strategy
         assert clone.n_trials == trace.n_trials
@@ -227,9 +227,9 @@ class TestResultStore:
 class TestEngineExecution:
     def test_parallel_bit_identical_to_serial(self, two_trial_scale):
         with use_engine(_quiet(jobs=1)):
-            serial = run_comparison("mvt", ("random", "pwu"), two_trial_scale, seed=0)
+            serial = comparison_traces("mvt", ("random", "pwu"), two_trial_scale, seed=0)
         with use_engine(_quiet(jobs=2)):
-            parallel = run_comparison("mvt", ("random", "pwu"), two_trial_scale, seed=0)
+            parallel = comparison_traces("mvt", ("random", "pwu"), two_trial_scale, seed=0)
         for s in serial:
             assert np.array_equal(serial[s].cc_mean, parallel[s].cc_mean)
             assert np.array_equal(serial[s].cc_std, parallel[s].cc_std)
@@ -285,13 +285,13 @@ class TestEngineExecution:
             lambda *a, **k: (calls.append(1), original(*a, **k))[1],
         )
         with use_engine(_quiet(jobs=1)):
-            run_comparison(
+            comparison_traces(
                 "mvt", ("random", "bestperf", "pwu"), two_trial_scale, seed=321
             )
         assert len(calls) == 1
 
     def test_run_strategy_engine_override(self, tmp_path, two_trial_scale):
-        trace = run_strategy(
+        trace = strategy_trace(
             "mvt", "pwu", two_trial_scale, seed=0,
             engine=_quiet(cache_dir=str(tmp_path)),
         )
@@ -300,7 +300,7 @@ class TestEngineExecution:
 
     def test_engine_matches_legacy_shape(self, tiny_scale):
         """The engine-backed runner preserves the protocol contract."""
-        trace = run_strategy("mvt", "pwu", tiny_scale, seed=0, engine=_quiet())
+        trace = strategy_trace("mvt", "pwu", tiny_scale, seed=0, engine=_quiet())
         assert trace.strategy == "pwu"
         assert trace.n_train[-1] == tiny_scale.n_max
         assert set(trace.rmse_mean) == {"0.01", "0.05", "0.1"}

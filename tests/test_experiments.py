@@ -9,8 +9,8 @@ from repro.experiments import (
     ExperimentScale,
     average_histories,
     prepare_data,
-    run_comparison,
-    run_strategy,
+    comparison_traces,
+    strategy_trace,
 )
 from repro.experiments.config import scale_from_env
 from repro.workloads import get_benchmark
@@ -114,24 +114,24 @@ class TestAverageHistories:
 
 class TestRunners:
     def test_run_strategy_end_to_end(self, tiny_scale):
-        trace = run_strategy("mvt", "pwu", tiny_scale, seed=0)
+        trace = strategy_trace("mvt", "pwu", tiny_scale, seed=0)
         assert trace.strategy == "pwu"
         assert trace.n_train[-1] == tiny_scale.n_max
         assert (trace.cc_mean > 0).all()
         assert set(trace.rmse_mean) == {"0.01", "0.05", "0.1"}
 
     def test_run_comparison_shares_eval_grid(self, tiny_scale):
-        res = run_comparison("mvt", ("random", "pwu"), tiny_scale, seed=0)
+        res = comparison_traces("mvt", ("random", "pwu"), tiny_scale, seed=0)
         assert set(res) == {"random", "pwu"}
         assert np.array_equal(res["random"].n_train, res["pwu"].n_train)
 
     def test_reproducible(self, tiny_scale):
-        a = run_strategy("mvt", "pbus", tiny_scale, seed=3)
-        b = run_strategy("mvt", "pbus", tiny_scale, seed=3)
+        a = strategy_trace("mvt", "pbus", tiny_scale, seed=3)
+        b = strategy_trace("mvt", "pbus", tiny_scale, seed=3)
         assert np.array_equal(a.cc_mean, b.cc_mean)
         assert np.array_equal(a.rmse_mean["0.05"], b.rmse_mean["0.05"])
 
     def test_different_seeds_differ(self, tiny_scale):
-        a = run_strategy("mvt", "random", tiny_scale, seed=1)
-        b = run_strategy("mvt", "random", tiny_scale, seed=2)
+        a = strategy_trace("mvt", "random", tiny_scale, seed=1)
+        b = strategy_trace("mvt", "random", tiny_scale, seed=2)
         assert not np.array_equal(a.cc_mean, b.cc_mean)

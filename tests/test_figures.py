@@ -66,9 +66,9 @@ class TestFig7:
         assert "speedup" in res.panels["speedup of CC (PBUS / PWU)"]
 
     def test_precomputed_traces_reused(self):
-        from repro.experiments.runner import run_comparison
+        from repro.experiments.runner import comparison_traces
 
-        traces = run_comparison("mvt", ("pbus", "pwu"), TINY, seed=0, alpha=0.01)
+        traces = comparison_traces("mvt", ("pbus", "pwu"), TINY, seed=0, alpha=0.01)
         res = figures.fig7(TINY, benchmarks=("mvt",), precomputed={"mvt": traces})
         sp = res.data["speedups"]["mvt"]
         assert sp > 0 or np.isnan(sp)

@@ -105,9 +105,9 @@ class TestGPRegression:
 
 class TestLearnerIntegration:
     def test_gp_drives_algorithm_1(self, tiny_scale):
-        from repro.experiments.runner import run_strategy
+        from repro.experiments.runner import strategy_trace
 
-        trace = run_strategy(
+        trace = strategy_trace(
             "mvt",
             "pwu",
             tiny_scale,

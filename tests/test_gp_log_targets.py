@@ -30,9 +30,9 @@ class TestLogTargets:
             GaussianProcessRegressor(log_targets=True).fit(X, np.zeros(10))
 
     def test_pwu_runs_on_gp_surrogate_end_to_end(self, tiny_scale):
-        from repro.experiments.runner import run_strategy
+        from repro.experiments.runner import strategy_trace
 
-        trace = run_strategy(
+        trace = strategy_trace(
             "hypre", "pwu", tiny_scale, seed=1, config_overrides={"model": "gp"}
         )
         assert trace.n_train[-1] == tiny_scale.n_max

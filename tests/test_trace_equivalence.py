@@ -215,3 +215,62 @@ class TestFullRunEquivalence:
             assert a.selected_mu == b.selected_mu
             assert a.selected_sigma == b.selected_sigma
             assert a.rmse == b.rmse
+
+
+def _histories_equal(a, b) -> bool:
+    if len(a.records) != len(b.records):
+        return False
+    return all(
+        x.selected == y.selected
+        and x.selected_mu == y.selected_mu
+        and x.selected_sigma == y.selected_sigma
+        and x.rmse == y.rmse
+        and x.n_train == y.n_train
+        and x.cumulative_cost == y.cumulative_cost
+        for x, y in zip(a.records, b.records)
+    )
+
+
+class TestTelemetryEquivalence:
+    """Telemetry spans/counters never perturb results: tracing on and off
+    produce bit-identical histories (spans touch no RNG and no control
+    flow), at every retrain mode and through the engine at any job count."""
+
+    @pytest.mark.parametrize("strategy_name", ["pwu", "pbus", "random"])
+    def test_traced_run_bit_identical(self, kernel_mode, strategy_name, monkeypatch):
+        from repro import telemetry
+
+        with monkeypatch.context() as m:
+            off = _run_learner(77, strategy_name, RandomForestRegressor, False, m)
+        with telemetry.tracing(True):
+            with monkeypatch.context() as m:
+                on = _run_learner(77, strategy_name, RandomForestRegressor, False, m)
+        assert len(telemetry.drain_events()) > 0
+        assert _histories_equal(off, on)
+
+    def test_traced_partial_retrain_bit_identical(self, kernel_mode, monkeypatch):
+        from repro import telemetry
+
+        cfg = dict(retrain="partial", refresh_fraction=0.34)
+        with monkeypatch.context() as m:
+            off = _run_learner(56, "pwu", RandomForestRegressor, False, m, **cfg)
+        with telemetry.tracing(True):
+            with monkeypatch.context() as m:
+                on = _run_learner(56, "pwu", RandomForestRegressor, False, m, **cfg)
+        telemetry.drain_events()
+        assert _histories_equal(off, on)
+
+    def test_traced_engine_run_bit_identical(self, kernel_mode, tiny_scale):
+        from repro import telemetry
+        from repro.engine.context import EngineConfig
+        from repro.experiments.runner import strategy_trace
+
+        quiet = EngineConfig(jobs=1, progress=False)
+        off = strategy_trace("mvt", "pwu", tiny_scale, seed=9, engine=quiet)
+        with telemetry.tracing(True):
+            on = strategy_trace("mvt", "pwu", tiny_scale, seed=9, engine=quiet)
+        telemetry.drain_events()
+        assert np.array_equal(off.n_train, on.n_train)
+        assert np.array_equal(off.cc_mean, on.cc_mean)
+        for key in off.rmse_mean:
+            assert np.array_equal(off.rmse_mean[key], on.rmse_mean[key])

@@ -93,9 +93,9 @@ class TestCostAwarePWU:
 
 class TestRunnerIntegration:
     def test_strategy_instance_accepted(self, tiny_scale):
-        from repro.experiments.runner import run_strategy
+        from repro.experiments.runner import strategy_trace
 
-        trace = run_strategy(
+        trace = strategy_trace(
             "mvt",
             RankWeightedUncertaintySampling(gamma=3.0),
             tiny_scale,
@@ -106,9 +106,9 @@ class TestRunnerIntegration:
         assert trace.n_train[-1] == tiny_scale.n_max
 
     def test_config_overrides_applied(self, tiny_scale):
-        from repro.experiments.runner import run_strategy
+        from repro.experiments.runner import strategy_trace
 
-        trace = run_strategy(
+        trace = strategy_trace(
             "mvt",
             "pwu",
             tiny_scale,
