@@ -73,12 +73,21 @@ def _resolve_scale(scale: "str | ExperimentScale") -> ExperimentScale:
         ) from None
 
 
-def _engine_config(jobs: "int | None", cache_dir: "str | None") -> EngineConfig:
+def _engine_config(
+    jobs: "int | None",
+    cache_dir: "str | None",
+    max_retries: "int | None" = None,
+    job_timeout: "float | None" = None,
+) -> EngineConfig:
     config = current_engine()
     if jobs is not None:
         config = dataclasses.replace(config, jobs=int(jobs))
     if cache_dir is not None:
         config = dataclasses.replace(config, cache_dir=str(cache_dir))
+    if max_retries is not None:
+        config = dataclasses.replace(config, max_retries=int(max_retries))
+    if job_timeout is not None:
+        config = dataclasses.replace(config, job_timeout=float(job_timeout))
     return config
 
 
@@ -146,6 +155,8 @@ def run(
     alphas: "tuple[float, ...]" = DEFAULT_ALPHAS,
     cache_dir: "str | None" = None,
     trace_summary: bool = True,
+    max_retries: "int | None" = None,
+    job_timeout: "float | None" = None,
 ) -> RunResult:
     """Run one strategy on one workload and average repeated trials.
 
@@ -170,6 +181,13 @@ def run(
         Protocol knobs forwarded to the runner: experiment scale (name or
         :class:`ExperimentScale`), trial-count override, PWU α, evaluated
         α grid, and the persistent result store directory.
+    max_retries, job_timeout:
+        Fault-tolerance overrides: retry budget per job and per-attempt
+        wall-clock limit in seconds (default: the ambient engine
+        configuration; see :class:`repro.engine.EngineConfig`).  A job
+        that exhausts its retries raises
+        :class:`repro.engine.EngineJobError` after the batch completes,
+        with finished trials preserved in the store.
     """
     get_strategy(strategy, alpha=alpha)  # fail fast on unknown names
     resolved = _resolve_scale(scale)
@@ -177,7 +195,7 @@ def run(
         resolved = dataclasses.replace(resolved, n_max=int(budget))
     if trials is not None:
         resolved = dataclasses.replace(resolved, n_trials=int(trials))
-    engine = _engine_config(jobs, cache_dir)
+    engine = _engine_config(jobs, cache_dir, max_retries, job_timeout)
 
     def execute() -> AveragedTrace:
         return strategy_trace(
@@ -215,6 +233,8 @@ def compare(
     alphas: "tuple[float, ...]" = DEFAULT_ALPHAS,
     cache_dir: "str | None" = None,
     trace_summary: bool = True,
+    max_retries: "int | None" = None,
+    job_timeout: "float | None" = None,
 ) -> CompareResult:
     """Run several strategies against one shared pool/test split.
 
@@ -230,7 +250,7 @@ def compare(
         resolved = dataclasses.replace(resolved, n_max=int(budget))
     if trials is not None:
         resolved = dataclasses.replace(resolved, n_trials=int(trials))
-    engine = _engine_config(jobs, cache_dir)
+    engine = _engine_config(jobs, cache_dir, max_retries, job_timeout)
 
     def execute() -> "dict[str, AveragedTrace]":
         return comparison_traces(

@@ -19,10 +19,15 @@ minutes on one core), ``smoke`` (seconds, CI-sized).
 
 Every figure subcommand accepts ``--jobs N`` (fan trials over N worker
 processes; traces are bit-identical to serial), ``--cache-dir DIR``
-(persist completed trials so re-runs and killed runs skip finished work),
-and ``--trace [FILE]`` (record telemetry spans — see
-:mod:`repro.telemetry` — into a JSONL file and print a per-phase summary;
-results are bit-identical with tracing on or off).
+(persist completed trials in a crash-safe journal so re-runs and killed
+runs skip finished work), ``--max-retries K`` / ``--job-timeout SECONDS``
+(fault tolerance: failed, timed-out, or crash-lost trials are retried
+with exponential backoff before being recorded as failed), and
+``--trace [FILE]`` (record telemetry spans — see :mod:`repro.telemetry` —
+into a JSONL file and print a per-phase summary; results are
+bit-identical with tracing on or off).  The ``REPRO_FAULTS`` environment
+variable injects deterministic chaos faults for testing (see
+:mod:`repro.engine.faults`).
 """
 
 from __future__ import annotations
@@ -80,6 +85,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-progress",
             action="store_true",
             help="suppress engine telemetry on stderr",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="K",
+            help="re-attempts per failed/timed-out/crash-lost trial job "
+            "before it is recorded as failed (default: $REPRO_MAX_RETRIES "
+            "or 2)",
+        )
+        p.add_argument(
+            "--job-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-attempt wall-clock limit for one trial job; a "
+            "timed-out attempt is retried (default: $REPRO_JOB_TIMEOUT "
+            "or unlimited)",
         )
         p.add_argument(
             "--trace",
@@ -168,13 +191,22 @@ def main(argv: "list[str] | None" = None) -> int:
             sys.stderr.close()
         return 0
 
-    from repro.engine import EngineConfig, engine_from_env, use_engine
+    from repro.engine import engine_from_env, use_engine
+
+    import dataclasses
 
     base = engine_from_env()
-    engine = EngineConfig(
+    engine = dataclasses.replace(
+        base,
         jobs=args.jobs if args.jobs is not None else base.jobs,
         cache_dir=args.cache_dir if args.cache_dir is not None else base.cache_dir,
         progress=base.progress and not args.no_progress,
+        max_retries=(
+            args.max_retries if args.max_retries is not None else base.max_retries
+        ),
+        job_timeout=(
+            args.job_timeout if args.job_timeout is not None else base.job_timeout
+        ),
     )
     with use_engine(engine):
         if args.trace is not None:

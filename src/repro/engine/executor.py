@@ -1,4 +1,4 @@
-"""The trial scheduler: fan jobs out, reuse cached traces, stay bit-exact.
+"""The trial scheduler: fan jobs out, reuse cached traces, survive faults.
 
 :func:`run_jobs` is the engine's single entry point.  It deduplicates the
 requested :class:`~repro.engine.jobs.TrialJob` list by content key, satisfies
@@ -6,14 +6,37 @@ whatever it can from the :class:`~repro.engine.store.ResultStore`, and
 executes the remainder — serially for ``jobs=1``, otherwise over a
 ``ProcessPoolExecutor``.  Because every trial's randomness is derived from
 its job key (see :mod:`repro.engine.jobs`), the traces are bit-identical
-regardless of worker count, scheduling order, or whether a trial was
-executed now or loaded from a previous run.
+regardless of worker count, scheduling order, retries, or whether a trial
+was executed now or loaded from a previous run.
 
-Worker-side, :func:`execute_job` memoises the per-benchmark data preparation
-(pool/test split and the pre-labeled ``y_test``) in a small per-process
-cache, so the split — which the paper's protocol shares across all
-strategies and trials of a benchmark — is paid once per process rather than
-once per trial.
+Fault tolerance (the production posture — worker crashes, hung
+evaluations, and flaky jobs are routine at campaign scale):
+
+* **Per-attempt timeouts.**  When ``EngineConfig.job_timeout`` is set,
+  each attempt runs under a ``SIGALRM`` wall-clock limit in the process
+  that executes it (worker or serial).  A timed-out attempt is a
+  retryable failure, not a wedged campaign.  (Platforms without
+  ``SIGALRM`` run without the limit.)
+* **Retries with exponential backoff.**  Failed attempts (job exception,
+  timeout, or a crash-lost worker) are retried up to
+  ``EngineConfig.max_retries`` times.  The backoff for attempt *k* is
+  ``retry_backoff * 2**(k-1)`` scaled by a deterministic jitter in
+  ``[0.5, 1.5)`` derived from the job key — reproducible, but decorrelated
+  across jobs.  A job that exhausts its retries is recorded as a failed
+  :class:`~repro.engine.jobs.TrialResult`; the rest of the batch is
+  unaffected.
+* **Pool-death recovery.**  A worker dying hard (segfault, OOM kill, the
+  ``crash`` chaos fault) breaks the whole ``ProcessPoolExecutor``.  The
+  scheduler salvages every result that completed before the death,
+  counts one attempt against each in-flight job, rebuilds the pool, and
+  resubmits.  After :data:`_POOL_RESTART_LIMIT` rebuilds it degrades to
+  the serial path instead of thrashing.
+
+Worker-side, :func:`execute_job` memoises the per-benchmark data
+preparation (pool/test split and the pre-labeled ``y_test``) in a small
+per-process cache, so the split — which the paper's protocol shares across
+all strategies and trials of a benchmark — is paid once per process rather
+than once per trial.
 
 The pool prefers the ``fork`` start method (cheap, inherits the prepared
 caches' code pages) and falls back to ``spawn`` where fork is unavailable;
@@ -23,8 +46,11 @@ degrades gracefully to the serial path with identical results.
 
 from __future__ import annotations
 
+import hashlib
+import signal
+import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pickle import PicklingError
@@ -33,19 +59,33 @@ import multiprocessing
 
 from repro import telemetry
 from repro.active import LearningHistory
+from repro.engine import faults as faults_mod
 from repro.engine.context import EngineConfig, current_engine
-from repro.engine.jobs import TrialJob
+from repro.engine.jobs import TrialJob, TrialResult
 from repro.engine.progress import EngineStats, ProgressReporter
 from repro.engine.store import ResultStore
 from repro.telemetry.sink import run_id_for_keys
 
-__all__ = ["run_jobs", "execute_job"]
+__all__ = ["run_jobs", "execute_job", "JobTimeout"]
 
 #: Per-process cache of prepared (benchmark, pool, X_test, y_test) tuples.
 #: Small and LRU-bounded: entries hold the pool matrix and measured test
 #: labels, which is exactly the state worth amortising across trials.
 _PREPARED: "OrderedDict[tuple, tuple]" = OrderedDict()
 _PREPARED_MAX = 4
+
+#: Ceiling on any single retry backoff sleep, seconds.
+_RETRY_BACKOFF_CAP = 30.0
+
+#: Pool rebuilds tolerated per batch before degrading to serial execution.
+_POOL_RESTART_LIMIT = 2
+
+#: Per-process cache of parsed fault plans, keyed by spec string.
+_PLANS: "dict[str | None, faults_mod.FaultPlan]" = {}
+
+
+class JobTimeout(TimeoutError):
+    """An attempt exceeded ``EngineConfig.job_timeout`` wall-clock seconds."""
 
 
 def _prepared(benchmark_name: str, scale, seed: int) -> tuple:
@@ -98,30 +138,119 @@ def execute_job(job: TrialJob) -> LearningHistory:
     )
 
 
-def _traced_execute(key: str, job: TrialJob, submit_ts: float) -> LearningHistory:
+def _traced_execute(
+    key: str, job: TrialJob, submit_ts: float, attempt: int = 0
+) -> LearningHistory:
     """Run one job under its ``engine.job`` span (queue wait annotated)."""
     with telemetry.span(
         "engine.job",
         key=key[:12],
         job=job.describe(),
         queue_wait=time.time() - submit_ts,
+        attempt=attempt,
     ):
         return execute_job(job)
 
 
-def _execute_keyed(
-    item: "tuple[str, TrialJob, float]",
-) -> "tuple[str, LearningHistory, list, dict]":
-    """Pool-friendly wrapper: runs one job in a worker process.
+def _plan(spec: "str | None") -> faults_mod.FaultPlan:
+    """Parsed fault plan for ``spec``, memoised per process."""
+    plan = _PLANS.get(spec)
+    if plan is None:
+        plan = faults_mod.plan_from_spec(spec)
+        _PLANS[spec] = plan
+    return plan
 
-    Besides the history it ships the worker's telemetry for this job back
-    through the result channel — the span events drained from the local
-    ring buffer (empty when tracing is off) and the counter deltas — so
-    the parent can merge them and ``--jobs N`` traces stay complete.
+
+def _with_timeout(fn, seconds: "float | None"):
+    """Run ``fn()`` under a ``SIGALRM`` wall-clock limit when possible.
+
+    Timeouts need a real asynchronous interrupt to unstick a hung job, so
+    they only engage where ``SIGALRM`` exists and we are on the main
+    thread (always true for pool workers and the CLI's serial path).
+    Elsewhere ``fn`` runs unlimited rather than pretending.
     """
-    key, job, submit_ts = item
-    history = _traced_execute(key, job, submit_ts)
-    return key, history, telemetry.drain_events(), telemetry.drain()
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return fn()
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"attempt exceeded {seconds}s wall-clock limit")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _backoff_seconds(key: str, attempt: int, base: float) -> float:
+    """Deterministic exponential backoff with per-job jitter.
+
+    ``attempt`` is 1-based (the attempt about to run).  The jitter factor
+    in ``[0.5, 1.5)`` is derived from (key, attempt), so chaos runs are
+    reproducible while concurrent retries stay decorrelated.
+    """
+    if base <= 0 or attempt <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"backoff:{attempt}:{key}".encode()).digest()
+    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+    return min(base * (2 ** (attempt - 1)) * jitter, _RETRY_BACKOFF_CAP)
+
+
+def _attempt(
+    key: str,
+    job: TrialJob,
+    submit_ts: float,
+    attempt: int,
+    plan: faults_mod.FaultPlan,
+    timeout: "float | None",
+) -> "tuple[str, object]":
+    """One guarded execution attempt in the current process.
+
+    Returns ``("ok", history)``, ``("timeout", message)``, or
+    ``("error", message)``.  Interrupts (``KeyboardInterrupt``,
+    ``SystemExit``) propagate — they end the run, not the job.
+    """
+
+    def run() -> LearningHistory:
+        if plan:
+            plan.apply(key, attempt)
+        return _traced_execute(key, job, submit_ts, attempt)
+
+    try:
+        return "ok", _with_timeout(run, timeout)
+    except JobTimeout as exc:
+        telemetry.inc("engine.jobs.timeouts")
+        return "timeout", str(exc)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        return "error", f"{type(exc).__name__}: {exc}"
+
+
+def _execute_keyed(
+    item: "tuple[str, TrialJob, float, int, float | None, str | None]",
+) -> "tuple[str, str, object, list, dict]":
+    """Pool-friendly wrapper: runs one guarded attempt in a worker process.
+
+    Besides the outcome it ships the worker's telemetry for this attempt
+    back through the result channel — the span events drained from the
+    local ring buffer (empty when tracing is off) and the counter deltas —
+    so the parent can merge them and ``--jobs N`` traces stay complete.
+    Job failures travel as data (``outcome != "ok"``), never as raised
+    exceptions: an exception escaping here would be indistinguishable from
+    pool infrastructure trouble on the parent side.
+    """
+    key, job, submit_ts, attempt, timeout, faults_spec = item
+    outcome, payload = _attempt(
+        key, job, submit_ts, attempt, _plan(faults_spec), timeout
+    )
+    return key, outcome, payload, telemetry.drain_events(), telemetry.drain()
 
 
 def _worker_init(trace_on: bool) -> None:
@@ -129,7 +258,9 @@ def _worker_init(trace_on: bool) -> None:
 
     A forked worker inherits the parent's ring buffer and counters; left
     alone they would be drained and re-absorbed by the parent, double
-    counting everything recorded before the pool started.
+    counting everything recorded before the pool started.  Also marks the
+    process as an expendable pool worker so the ``crash`` chaos fault dies
+    hard (``os._exit``) instead of raising.
     """
     telemetry.clear()
     telemetry.reset()
@@ -137,6 +268,7 @@ def _worker_init(trace_on: bool) -> None:
         telemetry.enable()
     else:
         telemetry.disable()
+    faults_mod.IN_POOL_WORKER = True
 
 
 def _mp_context():
@@ -147,64 +279,252 @@ def _mp_context():
     )
 
 
-def _run_serial(
-    pending: "list[tuple[str, TrialJob]]",
-    results: "dict[str, LearningHistory]",
+def _record_success(
+    key: str,
+    job: TrialJob,
+    attempt: int,
+    history: LearningHistory,
+    results: "dict[str, TrialResult]",
     store: "ResultStore | None",
     reporter: ProgressReporter,
 ) -> None:
-    for key, job in pending:
-        reporter.job_started(job.describe())
-        history = _traced_execute(key, job, time.time())
-        results[key] = history
-        if store is not None:
-            store.put(job, history)
-        reporter.job_finished(job.describe())
+    """Commit one completed trace: results dict, store, progress — in order.
+
+    The store write happens before the progress event so a crash between
+    the two can only under-report completed work, never lose it.
+    """
+    results[key] = TrialResult(key=key, history=history, attempts=attempt + 1)
+    if store is not None:
+        store.put(job, history)
+    reporter.job_finished(job.describe())
+
+
+def _run_serial(
+    pending: "list[tuple[str, TrialJob, int]]",
+    results: "dict[str, TrialResult]",
+    store: "ResultStore | None",
+    reporter: ProgressReporter,
+    config: EngineConfig,
+) -> None:
+    """In-process execution with the same retry policy as the pool path."""
+    plan = _plan(config.faults)
+    for key, job, start_attempt in pending:
+        attempt = start_attempt
+        while True:
+            reporter.job_started(job.describe())
+            outcome, payload = _attempt(
+                key, job, time.time(), attempt, plan, config.job_timeout
+            )
+            if outcome == "ok":
+                _record_success(
+                    key, job, attempt, payload, results, store, reporter
+                )
+                break
+            if attempt < config.max_retries:
+                attempt += 1
+                telemetry.inc("engine.jobs.retried")
+                reporter.job_retried(f"{job.describe()} ({outcome})")
+                time.sleep(
+                    _backoff_seconds(key, attempt, config.retry_backoff)
+                )
+                continue
+            telemetry.inc("engine.jobs.failed")
+            results[key] = TrialResult(
+                key=key, history=None, attempts=attempt + 1, error=str(payload)
+            )
+            reporter.job_failed(f"{job.describe()}: {payload}")
+            break
 
 
 def _run_parallel(
-    pending: "list[tuple[str, TrialJob]]",
-    results: "dict[str, LearningHistory]",
+    pending: "list[tuple[str, TrialJob, int]]",
+    results: "dict[str, TrialResult]",
     store: "ResultStore | None",
     reporter: ProgressReporter,
     n_workers: int,
-) -> "list[tuple[str, TrialJob]]":
+    config: EngineConfig,
+) -> "list[tuple[str, TrialJob, int]]":
     """Execute over a process pool; returns jobs that still need running.
 
-    A pool that cannot be created or breaks mid-flight (sandboxed
-    semaphores, OOM-killed worker) leaves the unfinished jobs to the
-    caller's serial fallback instead of failing the experiment.
+    Jobs come back for the caller's serial fallback when pools cannot be
+    created at all, when job payloads turn out unpicklable, or when the
+    pool has died more than :data:`_POOL_RESTART_LIMIT` times.  Everything
+    else — job errors, timeouts, single pool deaths — is absorbed here:
+    completed results are committed the moment their future resolves (and
+    salvaged from a broken pool's already-done futures), in-flight jobs
+    lost to a pool death are charged one attempt and requeued, and the
+    pool is rebuilt.
     """
-    by_key = dict(pending)
-    remaining = dict(pending)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            mp_context=_mp_context(),
-            initializer=_worker_init,
-            initargs=(telemetry.enabled(),),
-        ) as pool:
-            futures = {}
-            for key, job in pending:
-                futures[pool.submit(_execute_keyed, (key, job, time.time()))] = key
-                reporter.job_started(job.describe())
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    key, history, events, counter_delta = fut.result()
-                    telemetry.absorb_events(events)
-                    telemetry.absorb(counter_delta)
-                    results[key] = history
-                    remaining.pop(key, None)
-                    if store is not None:
-                        store.put(by_key[key], history)
-                    reporter.job_finished(by_key[key].describe())
-    except (OSError, PermissionError, BrokenProcessPool, PicklingError):
-        # Pool infrastructure failed — not a job error.  Hand the
-        # unfinished jobs back for serial execution.
+    todo: "deque[tuple[str, TrialJob, int]]" = deque(pending)
+    deferred: "list[tuple[float, str, TrialJob, int]]" = []  # (ready_at, ...)
+    restarts = 0
+
+    def leftover() -> "list[tuple[str, TrialJob, int]]":
         reporter.running = 0
-        return list(remaining.items())
+        return list(todo) + [(k, j, a) for _, k, j, a in deferred]
+
+    def attempt_failed(key: str, job: TrialJob, attempt: int, error: str, why: str) -> None:
+        """Parent-side verdict on one failed attempt: defer a retry or fail."""
+        if attempt < config.max_retries:
+            telemetry.inc("engine.jobs.retried")
+            reporter.job_retried(f"{job.describe()} ({why})")
+            delay = _backoff_seconds(key, attempt + 1, config.retry_backoff)
+            deferred.append((time.monotonic() + delay, key, job, attempt + 1))
+        else:
+            telemetry.inc("engine.jobs.failed")
+            results[key] = TrialResult(
+                key=key, history=None, attempts=attempt + 1, error=error
+            )
+            reporter.job_failed(f"{job.describe()}: {error}")
+
+    def absorb_result(
+        key: str,
+        job: TrialJob,
+        attempt: int,
+        outcome: str,
+        payload,
+        events: list,
+        counter_delta: dict,
+    ) -> None:
+        telemetry.absorb_events(events)
+        telemetry.absorb(counter_delta)
+        if outcome == "ok":
+            _record_success(
+                key, job, attempt, payload, results, store, reporter
+            )
+        else:
+            attempt_failed(key, job, attempt, str(payload), outcome)
+
+    while todo or deferred:
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=_mp_context(),
+                initializer=_worker_init,
+                initargs=(telemetry.enabled(),),
+            )
+        except (OSError, PermissionError, BrokenProcessPool, PicklingError):
+            # Pools unavailable here (restricted sandbox) — run serially.
+            return leftover()
+        broken = False
+        unpicklable = False
+        futures: "dict[object, tuple[str, TrialJob, int]]" = {}
+        try:
+            while (todo or deferred or futures) and not broken:
+                now = time.monotonic()
+                still = []
+                for ready_at, key, job, attempt in deferred:
+                    if ready_at <= now:
+                        todo.append((key, job, attempt))
+                    else:
+                        still.append((ready_at, key, job, attempt))
+                deferred[:] = still
+                while todo:
+                    key, job, attempt = todo.popleft()
+                    try:
+                        fut = pool.submit(
+                            _execute_keyed,
+                            (
+                                key,
+                                job,
+                                time.time(),
+                                attempt,
+                                config.job_timeout,
+                                config.faults,
+                            ),
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        todo.appendleft((key, job, attempt))
+                        broken = True
+                        break
+                    futures[fut] = (key, job, attempt)
+                    reporter.job_started(job.describe())
+                if broken:
+                    break
+                if not futures:
+                    # Everything is backing off: sleep until the earliest.
+                    if deferred:
+                        earliest = min(r for r, *_ in deferred)
+                        time.sleep(max(0.0, earliest - time.monotonic()))
+                    continue
+                wait_timeout = None
+                if deferred:
+                    earliest = min(r for r, *_ in deferred)
+                    wait_timeout = max(0.0, earliest - time.monotonic())
+                done, _ = wait(
+                    set(futures),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    key, job, attempt = futures.pop(fut)
+                    try:
+                        rkey, outcome, payload, events, delta = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        attempt_failed(
+                            key, job, attempt,
+                            "worker process died", "worker died",
+                        )
+                    except PicklingError:
+                        todo.appendleft((key, job, attempt))
+                        unpicklable = True
+                        broken = True
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as exc:
+                        # Result-channel trouble for this one future; treat
+                        # as a failed attempt, not pool death.
+                        attempt_failed(
+                            key, job, attempt,
+                            f"{type(exc).__name__}: {exc}", "channel error",
+                        )
+                    else:
+                        absorb_result(
+                            key, job, attempt, outcome, payload, events, delta
+                        )
+        except (KeyboardInterrupt, SystemExit):
+            # Don't leave orphaned workers grinding after a Ctrl-C: the
+            # shutdown below won't wait, so kill them explicitly.
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                proc.terminate()
+            raise
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not broken:
+            return []
+        if unpicklable:
+            # Deterministic serialization failure: retrying through the
+            # pool cannot help, so hand everything to the serial path.
+            for fut, (key, job, attempt) in futures.items():
+                todo.append((key, job, attempt))
+            return leftover()
+        # The pool died.  Salvage futures that completed before the death
+        # (their results are real — losing them was the old data-loss bug),
+        # charge one attempt to the jobs that were genuinely in flight,
+        # then rebuild and resubmit.
+        restarts += 1
+        telemetry.inc("engine.pool.restarts")
+        reporter.pool_restarted(restarts)
+        for fut, (key, job, attempt) in list(futures.items()):
+            salvaged = False
+            if fut.done() and not fut.cancelled():
+                try:
+                    rkey, outcome, payload, events, delta = fut.result()
+                except BaseException:
+                    pass
+                else:
+                    absorb_result(
+                        key, job, attempt, outcome, payload, events, delta
+                    )
+                    salvaged = True
+            if not salvaged:
+                attempt_failed(
+                    key, job, attempt, "worker process died", "worker died"
+                )
+        if restarts > _POOL_RESTART_LIMIT:
+            telemetry.inc("engine.pool.degraded_serial")
+            return leftover()
     return []
 
 
@@ -212,13 +532,21 @@ def run_jobs(
     jobs: "list[TrialJob]",
     config: "EngineConfig | None" = None,
     reporter: "ProgressReporter | None" = None,
-) -> "tuple[dict[str, LearningHistory], EngineStats]":
-    """Execute (or load) every job; returns ``(key → history, stats)``.
+) -> "tuple[dict[str, TrialResult], EngineStats]":
+    """Execute (or load) every job; returns ``(key → TrialResult, stats)``.
 
     Duplicate specs in ``jobs`` are executed once.  ``config`` defaults to
     the ambient :func:`~repro.engine.context.current_engine`; ``stats``
     reports how many traces were freshly executed versus served from the
-    store (the resume/caching telemetry the CLI and tests assert on).
+    store, plus retry/failure counts (the resume/fault-tolerance telemetry
+    the CLI and tests assert on).  A job that fails permanently — its
+    error, timeout, or worker crash survived ``config.max_retries``
+    retries — yields a failed :class:`~repro.engine.jobs.TrialResult`
+    rather than an exception, so one bad trial cannot abort a campaign.
+
+    Completed results are committed to the store as they finish, and the
+    ``finally`` path restores the progress line and sweeps temp files, so
+    an interrupt (Ctrl-C) loses neither finished work nor the terminal.
     """
     config = config if config is not None else current_engine()
     unique: "OrderedDict[str, TrialJob]" = OrderedDict()
@@ -229,34 +557,44 @@ def run_jobs(
     if own_reporter:
         reporter = ProgressReporter(total=len(unique), enabled=config.progress)
 
-    results: "dict[str, LearningHistory]" = {}
-    pending: "list[tuple[str, TrialJob]]" = []
-    with telemetry.span(
-        "engine.run",
-        run_id=run_id_for_keys(list(unique)),
-        total=len(unique),
-        workers=config.jobs,
-    ):
-        for key, job in unique.items():
-            cached = store.get(key) if store is not None else None
-            if cached is not None:
-                results[key] = cached
-                reporter.job_cached(job.describe())
-            else:
-                pending.append((key, job))
+    results: "dict[str, TrialResult]" = {}
+    try:
+        with telemetry.span(
+            "engine.run",
+            run_id=run_id_for_keys(list(unique)),
+            total=len(unique),
+            workers=config.jobs,
+        ):
+            pending: "list[tuple[str, TrialJob, int]]" = []
+            for key, job in unique.items():
+                cached = store.get(key) if store is not None else None
+                if cached is not None:
+                    results[key] = TrialResult(
+                        key=key, history=cached, attempts=0, cached=True
+                    )
+                    reporter.job_cached(job.describe())
+                else:
+                    pending.append((key, job, 0))
 
-        n_workers = min(config.jobs, len(pending))
-        if pending and n_workers > 1:
-            pending = _run_parallel(pending, results, store, reporter, n_workers)
-        if pending:
-            _run_serial(pending, results, store, reporter)
+            n_workers = min(config.jobs, len(pending))
+            if pending and n_workers > 1:
+                pending = _run_parallel(
+                    pending, results, store, reporter, n_workers, config
+                )
+            if pending:
+                _run_serial(pending, results, store, reporter, config)
+    finally:
+        if store is not None:
+            store.cleanup_tmp()
+        if own_reporter:
+            reporter.close()
 
     stats = EngineStats(
         total=len(unique),
         executed=reporter.executed,
         cached=reporter.cached,
         wall_time=reporter.elapsed(),
+        failed=reporter.failed,
+        retried=reporter.retried,
     )
-    if own_reporter:
-        reporter.close()
     return results, stats

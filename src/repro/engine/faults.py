@@ -1,0 +1,185 @@
+"""Deterministic fault injection for chaos-testing the engine.
+
+A fault plan is parsed from a compact spec string (the ``REPRO_FAULTS``
+environment variable or ``EngineConfig.faults``)::
+
+    crash:0.2,hang:0.1:1:30,exc:0.5:2,slow:1.0
+
+Each comma-separated entry is ``kind:rate[:times[:seconds]]``:
+
+* ``kind`` — one of :data:`FAULT_KINDS`:
+
+  - ``crash`` — the worker process dies hard (``os._exit``), breaking the
+    process pool exactly like a segfaulted or OOM-killed worker.  In the
+    serial path (where exiting would kill the experiment itself) it raises
+    :class:`SimulatedCrash` instead, which the scheduler treats as a
+    retryable failure.
+  - ``hang``  — the job sleeps for ``seconds`` (default 3600), simulating a
+    wedged evaluation; only a per-job timeout gets it unstuck.
+  - ``exc``   — raises :class:`InjectedFault`, a transient job error.
+  - ``slow``  — sleeps ``seconds`` (default 0.05) and then proceeds
+    normally; perturbs scheduling without failing anything.
+
+* ``rate`` — probability in ``[0, 1]`` that a given *job* is afflicted.
+* ``times`` — how many attempts the fault fires on (default 1: only the
+  first attempt fails, so a retried job succeeds).
+* ``seconds`` — sleep duration for ``hang``/``slow``.
+
+Determinism is the point: whether a fault fires for a job is a pure
+function of ``(fault kind, job key, attempt)`` — a SHA-256 hash mapped to
+``[0, 1)`` and compared against ``rate`` — never of wall clock, scheduling
+order, or worker count.  A chaos run at ``--jobs 8`` afflicts exactly the
+same jobs as at ``--jobs 1``, so the chaos suite can assert that retried
+runs produce bit-identical results to fault-free runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+from repro.telemetry import counters
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "SimulatedCrash",
+    "fault_roll",
+    "plan_from_spec",
+]
+
+#: Recognised fault kinds (see module docstring for semantics).
+FAULT_KINDS = ("crash", "hang", "exc", "slow")
+
+#: Default sleep durations, per kind, for the sleeping faults.
+_DEFAULT_SECONDS = {"hang": 3600.0, "slow": 0.05}
+
+#: Exit status used by the ``crash`` fault (mirrors a SIGSEGV death).
+CRASH_EXIT_CODE = 139
+
+#: Set True by the pool-worker initializer; selects ``os._exit`` crashes
+#: (pool workers are expendable) over :class:`SimulatedCrash` (the serial
+#: path runs in the experiment's own process).
+IN_POOL_WORKER = False
+
+
+class InjectedFault(RuntimeError):
+    """Transient error raised by the ``exc`` fault."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Serial-path stand-in for a worker process dying hard."""
+
+
+def fault_roll(kind: str, key: str) -> float:
+    """The deterministic uniform draw in ``[0, 1)`` for ``(kind, key)``."""
+    digest = hashlib.sha256(f"fault:{kind}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed ``kind:rate[:times[:seconds]]`` entry."""
+
+    kind: str
+    rate: float
+    times: int = 1
+    seconds: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.times < 1:
+            raise ValueError(f"fault times must be >= 1, got {self.times}")
+
+    def fires(self, key: str, attempt: int) -> bool:
+        """Whether this fault afflicts ``key`` on the given (0-based) attempt."""
+        if attempt >= self.times:
+            return False
+        return fault_roll(self.kind, key) < self.rate
+
+    @property
+    def sleep_seconds(self) -> float:
+        return (
+            self.seconds
+            if self.seconds is not None
+            else _DEFAULT_SECONDS.get(self.kind, 0.0)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules applied to every job attempt."""
+
+    rules: "tuple[FaultRule, ...]" = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def apply(self, key: str, attempt: int) -> None:
+        """Inject whatever faults fire for ``(key, attempt)``.
+
+        Rules are evaluated in spec order; the first *fatal* rule (crash,
+        hang beyond any timeout, exc) ends the attempt.  ``slow`` sleeps
+        and falls through so it can compose with the others.
+        """
+        for rule in self.rules:
+            if not rule.fires(key, attempt):
+                continue
+            counters.inc(f"engine.faults.{rule.kind}")
+            if rule.kind == "slow":
+                time.sleep(rule.sleep_seconds)
+            elif rule.kind == "hang":
+                time.sleep(rule.sleep_seconds)
+                raise InjectedFault(
+                    f"injected hang ({rule.sleep_seconds}s) elapsed"
+                )
+            elif rule.kind == "exc":
+                raise InjectedFault(f"injected exception for job {key[:12]}")
+            elif rule.kind == "crash":
+                if IN_POOL_WORKER:
+                    os._exit(CRASH_EXIT_CODE)
+                raise SimulatedCrash(f"injected crash for job {key[:12]}")
+
+
+def plan_from_spec(spec: "str | None") -> FaultPlan:
+    """Parse a ``kind:rate[:times[:seconds]]`` comma list into a plan.
+
+    ``None``/empty/whitespace specs yield the empty (no-op) plan.  Raises
+    ``ValueError`` on malformed entries so a typo'd chaos knob fails fast
+    instead of silently testing nothing.
+    """
+    if not spec or not spec.strip():
+        return FaultPlan()
+    rules = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ValueError(
+                f"malformed fault entry {entry!r}; "
+                "expected kind:rate[:times[:seconds]]"
+            )
+        kind = parts[0].strip()
+        try:
+            rate = float(parts[1])
+            times = int(parts[2]) if len(parts) > 2 else 1
+            seconds = float(parts[3]) if len(parts) > 3 else None
+        except ValueError:
+            raise ValueError(
+                f"malformed fault entry {entry!r}; "
+                "expected kind:rate[:times[:seconds]]"
+            ) from None
+        rules.append(FaultRule(kind=kind, rate=rate, times=times, seconds=seconds))
+    return FaultPlan(rules=tuple(rules))

@@ -31,7 +31,13 @@ from repro.experiments.config import ExperimentScale
 from repro.sampling import make_strategy
 from repro.sampling.base import SamplingStrategy
 
-__all__ = ["TrialJob", "trial_jobs", "JOB_SCHEMA_VERSION"]
+__all__ = [
+    "TrialJob",
+    "TrialResult",
+    "EngineJobError",
+    "trial_jobs",
+    "JOB_SCHEMA_VERSION",
+]
 
 #: Bumped whenever the job spec or the trial RNG derivation changes in a way
 #: that invalidates previously stored results.
@@ -145,6 +151,48 @@ class TrialJob:
         """Short human-readable label for progress displays."""
         s = self.strategy if isinstance(self.strategy, str) else type(self.strategy).__name__
         return f"{self.benchmark}/{s}#{self.trial}"
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Terminal outcome of one scheduled job: a trace, or a recorded failure.
+
+    The engine returns one of these per job key instead of raising when a
+    job exhausts its retries, so a single pathological trial cannot abort
+    a campaign and discard its siblings' completed work.  ``history`` is
+    the trace on success and ``None`` on failure; ``error`` is the
+    one-line failure description (exception repr or timeout note) of the
+    *last* attempt; ``attempts`` counts executions including retries
+    (0 for store hits); ``cached`` marks results served from the store.
+    """
+
+    key: str
+    history: "LearningHistory | None"
+    attempts: int = 1
+    error: "str | None" = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a usable trace."""
+        return self.history is not None
+
+    def unwrap(self) -> "LearningHistory":
+        """The trace, or :class:`EngineJobError` if the job failed."""
+        if self.history is None:
+            raise EngineJobError(
+                f"job {self.key[:12]} failed after {self.attempts} "
+                f"attempt(s): {self.error}"
+            )
+        return self.history
+
+
+class EngineJobError(RuntimeError):
+    """One or more jobs failed permanently (retries exhausted)."""
+
+    def __init__(self, message: str, failures: "tuple[TrialResult, ...]" = ()):
+        super().__init__(message)
+        self.failures = failures
 
 
 def trial_jobs(

@@ -1,16 +1,33 @@
-"""On-disk artifact store for completed trial traces.
+"""Crash-safe on-disk store for completed trial traces.
 
 Each finished :class:`~repro.engine.jobs.TrialJob` persists its
-:class:`~repro.active.LearningHistory` as one JSON file named by the job's
-content-address key.  Because the key covers the entire job spec (benchmark,
-strategy, scale, seed, trial, α, overrides), a lookup can never return a
-stale or mismatched trace; re-running any figure with the same ``--cache-dir``
-skips every already-completed trial, and a killed run resumes where it
-stopped — whatever finished before the kill is on disk.
+:class:`~repro.active.LearningHistory` under the job's content-address key.
+Because the key covers the entire job spec (benchmark, strategy, scale,
+seed, trial, α, overrides), a lookup can never return a stale or mismatched
+trace; re-running any figure with the same ``--cache-dir`` skips every
+already-completed trial, and a killed run resumes where it stopped —
+whatever committed before the kill is on disk.
 
-Writes go through a temp-file + :func:`os.replace` rename so a crash mid-write
-leaves no corrupt entry; unreadable or schema-mismatched files are treated as
-cache misses rather than errors.
+Durability model (the fault-tolerant engine's contract):
+
+* **Append-only journal.**  Results live in ``journal.jsonl`` — one JSON
+  payload per line, appended with ``flush`` + ``os.fsync`` before the
+  write is considered committed.  A ``kill -9`` (or power loss) mid-append
+  can only truncate the *last, uncommitted* line; replay detects the torn
+  tail and drops it, never losing a previously committed result.
+* **fsync-before-replace compaction.**  :meth:`compact` rewrites the
+  journal with one live line per key (dead lines accumulate when jobs are
+  re-stored) via a temp file that is flushed and fsynced *before*
+  ``os.replace``, then fsyncs the directory — so the rename is never
+  visible before its contents are durable and a crash at any instant
+  leaves either the old journal or the complete new one.
+* **Transparent migration.**  Stores written by the previous layout (one
+  ``<job-key>.json`` file per trace) are absorbed into the journal the
+  first time the directory is opened; each legacy file is removed only
+  after its line has been durably appended.
+
+Unreadable or schema-mismatched entries are treated as cache misses rather
+than errors.
 """
 
 from __future__ import annotations
@@ -22,31 +39,150 @@ from pathlib import Path
 
 from repro.active import LearningHistory
 from repro.engine.jobs import JOB_SCHEMA_VERSION, TrialJob
+from repro.telemetry import counters
 
-__all__ = ["ResultStore", "STORE_SCHEMA_VERSION"]
+__all__ = ["ResultStore", "STORE_SCHEMA_VERSION", "JOURNAL_NAME"]
 
-#: Version of the artifact layout; mismatched files are ignored (cache miss).
+#: Version of the artifact payload; mismatched entries are ignored (cache
+#: miss).  The journal stores the same payload the legacy per-key files
+#: held, which is what makes migration a pure container change.
 STORE_SCHEMA_VERSION = 1
+
+#: File name of the append-only journal inside the store directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Auto-compact at open when dead lines outnumber live ones this many
+#: times over (plus a small absolute slack so tiny stores never bother).
+_COMPACT_DEAD_RATIO = 2
+_COMPACT_MIN_DEAD = 16
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush directory metadata (new/renamed files) to disk, best effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dir
+        pass
+    finally:
+        os.close(fd)
 
 
 class ResultStore:
-    """A directory of ``<job-key>.json`` trace artifacts."""
+    """A journaled directory of trace artifacts, keyed by job hash."""
 
     def __init__(self, root: "str | os.PathLike") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.root / JOURNAL_NAME
+        #: key → ("journal", offset, length) or ("file", Path) locator.
+        self._index: "dict[str, tuple]" = {}
+        self._dead_lines = 0
+        self._replay()
+        self._migrate_legacy()
+        if (
+            self._dead_lines >= _COMPACT_MIN_DEAD
+            and self._dead_lines >= _COMPACT_DEAD_RATIO * max(len(self._index), 1)
+        ):
+            self.compact()
 
-    def path(self, key: str) -> Path:
-        """Artifact path for a job key."""
-        return self.root / f"{key}.json"
+    # -- journal plumbing ---------------------------------------------------
+    def _replay(self) -> None:
+        """Rebuild the in-memory index from the journal, tolerating a torn tail.
 
-    def get(self, key: str) -> "LearningHistory | None":
-        """Load the stored trace for ``key``; ``None`` on miss or bad file."""
-        path = self.path(key)
+        Later lines win (a re-stored key supersedes its old line).  Corrupt
+        lines — a truncated tail from a mid-write kill, or garbage from a
+        partial sector write — are skipped and counted, never fatal.
+        """
+        self._index.clear()
+        self._dead_lines = 0
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            fh = open(self.journal_path, "rb")
+        except OSError:
+            return
+        with fh:
+            offset = 0
+            for raw in fh:
+                length = len(raw)
+                line_offset = offset
+                offset += length
+                if not raw.endswith(b"\n"):
+                    # Torn tail: the append never completed.  Committed
+                    # writes always fsync a full line, so this entry was
+                    # never acknowledged — drop it.
+                    counters.inc("engine.store.torn_tail_dropped")
+                    break
+                try:
+                    payload = json.loads(raw)
+                    key = payload["key"]
+                except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+                    counters.inc("engine.store.corrupt_lines")
+                    self._dead_lines += 1
+                    continue
+                if key in self._index:
+                    self._dead_lines += 1
+                self._index[key] = ("journal", line_offset, length)
+
+    def _append(self, payload: dict) -> "tuple[int, int]":
+        """Durably append one payload line; returns its (offset, length).
+
+        The line is not considered committed until ``flush`` + ``fsync``
+        have returned — the invariant the torn-tail replay relies on.
+        """
+        line = (
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        created = not self.journal_path.exists()
+        with open(self.journal_path, "ab") as fh:
+            offset = fh.tell()
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if created:
+            _fsync_dir(self.root)
+        return offset, len(line)
+
+    def _read_at(self, offset: int, length: int) -> "dict | None":
+        try:
+            with open(self.journal_path, "rb") as fh:
+                fh.seek(offset)
+                raw = fh.read(length)
+            return json.loads(raw)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    def _migrate_legacy(self) -> None:
+        """Absorb per-key ``<job-key>.json`` files (the pre-journal layout).
+
+        Each readable legacy artifact is appended to the journal and then
+        unlinked; unreadable ones are left in place and ignored.  Files
+        whose key already has a journal entry are simply dropped — the
+        journal is authoritative.
+        """
+        for path in sorted(self.root.glob("*.json")):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                key = payload["key"]
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+            if key not in self._index:
+                offset, length = self._append(payload)
+                self._index[key] = ("journal", offset, length)
+                counters.inc("engine.store.migrated_artifacts")
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - e.g. read-only store
+                pass
+
+    @staticmethod
+    def _decode(payload: "dict | None") -> "LearningHistory | None":
+        """Validate a payload's schema stack and decode the trace."""
+        if payload is None:
             return None
         try:
             if payload.get("store_schema") != STORE_SCHEMA_VERSION:
@@ -57,11 +193,40 @@ class ResultStore:
         except (KeyError, TypeError, ValueError):
             return None
 
+    # -- public API ---------------------------------------------------------
+    def path(self, key: str) -> Path:
+        """Legacy per-key artifact path (pre-journal layout)."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> "LearningHistory | None":
+        """Load the stored trace for ``key``; ``None`` on miss or bad entry."""
+        locator = self._index.get(key)
+        if locator is None:
+            return None
+        if locator[0] == "journal":
+            payload = self._read_at(locator[1], locator[2])
+            if payload is not None and payload.get("key") != key:
+                # Another process appended to the journal since we
+                # indexed it; rebuild the index once and retry.
+                self._replay()
+                locator = self._index.get(key)
+                if locator is None or locator[0] != "journal":
+                    return None
+                payload = self._read_at(locator[1], locator[2])
+            return self._decode(payload)
+        try:  # pragma: no cover - only after a failed migration
+            payload = json.loads(Path(locator[1]).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return self._decode(payload)
+
     def put(self, job: TrialJob, history: LearningHistory) -> Path:
-        """Persist one completed trial atomically and return its path.
+        """Durably persist one completed trial; returns the journal path.
 
         The artifact embeds the job spec alongside the trace, so a store
-        directory is self-describing (auditable without the producing code).
+        is self-describing (auditable without the producing code).  The
+        append is fsynced before returning — once ``put`` returns, a
+        ``kill -9`` cannot lose the entry.
         """
         payload = {
             "store_schema": STORE_SCHEMA_VERSION,
@@ -69,35 +234,80 @@ class ResultStore:
             "job": job.spec(),
             "history": history.to_dict(),
         }
-        path = self.path(job.key())
+        if job.key() in self._index:
+            self._dead_lines += 1
+        offset, length = self._append(payload)
+        self._index[job.key()] = ("journal", offset, length)
+        return self.journal_path
+
+    def compact(self) -> None:
+        """Rewrite the journal with only live entries, crash-safely.
+
+        The replacement is staged in a temp file that is flushed and
+        fsynced *before* ``os.replace`` publishes it — the write-then-
+        rename ordering that guarantees the visible journal is always
+        complete — and the directory entry is fsynced after.
+        """
         fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=".json"
+            dir=self.root, prefix=".tmp-", suffix=".jsonl"
         )
+        new_index: "dict[str, tuple]" = {}
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
-            os.replace(tmp, path)
+            with os.fdopen(fd, "wb") as fh:
+                for key, locator in self._index.items():
+                    if locator[0] == "journal":
+                        payload = self._read_at(locator[1], locator[2])
+                        if payload is None:
+                            continue
+                        line = (
+                            json.dumps(
+                                payload, sort_keys=True, separators=(",", ":")
+                            )
+                            + "\n"
+                        ).encode("utf-8")
+                        new_index[key] = ("journal", fh.tell(), len(line))
+                        fh.write(line)
+                    else:
+                        new_index[key] = locator
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.journal_path)
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
-        return path
+        _fsync_dir(self.root)
+        self._index = new_index
+        self._dead_lines = 0
+        counters.inc("engine.store.compactions")
+
+    def cleanup_tmp(self) -> int:
+        """Remove stray ``.tmp-*`` staging files; returns how many.
+
+        Runs on the engine's ``finally`` path so an interrupt mid-write
+        cannot leak temp files into the store directory.
+        """
+        removed = 0
+        for path in self.root.glob(".tmp-*"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced with another run
+                pass
+        return removed
 
     def keys(self) -> "list[str]":
-        """Keys of every stored artifact (sorted, excludes temp files)."""
-        return sorted(
-            p.stem for p in self.root.glob("*.json")
-            if not p.name.startswith(".tmp-")
-        )
+        """Keys of every stored artifact (sorted)."""
+        return sorted(self._index)
 
     def __len__(self) -> int:
-        return len(self.keys())
+        return len(self._index)
 
     def __contains__(self, key: str) -> bool:
         """Cheap existence probe (does not validate the artifact)."""
-        return self.path(key).exists()
+        return key in self._index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r}, {len(self)} artifacts)"

@@ -38,6 +38,33 @@ __all__ = [
 DEFAULT_ALPHAS: tuple[float, ...] = (0.01, 0.05, 0.10)
 
 
+def _histories(jobs, results) -> "list[LearningHistory]":
+    """Unwrap the engine's TrialResults in job order, or fail loudly.
+
+    The paper's protocol averages a *fixed* number of trials; silently
+    averaging fewer because some failed would skew every downstream
+    figure.  So permanent job failures (retries exhausted) surface here
+    as one :class:`~repro.engine.EngineJobError` naming each failed job —
+    after the whole batch ran, so completed siblings are already in the
+    store and a fixed re-run resumes instead of recomputing.
+    """
+    from repro.engine import EngineJobError
+
+    failed = [results[j.key()] for j in jobs if not results[j.key()].ok]
+    if failed:
+        lines = "; ".join(
+            f"{r.key[:12]} after {r.attempts} attempt(s): {r.error}"
+            for r in failed
+        )
+        raise EngineJobError(
+            f"{len(failed)}/{len(jobs)} trial job(s) failed permanently "
+            f"({lines}); completed trials are preserved in the result "
+            "store — fix the cause and re-run to resume",
+            failures=tuple(failed),
+        )
+    return [results[j.key()].history for j in jobs]
+
+
 def _effective_sizes(
     benchmark: Benchmark, pool_size: int, test_size: int
 ) -> tuple[int, int]:
@@ -167,7 +194,7 @@ def strategy_trace(
         config_overrides=config_overrides,
     )
     results, _ = run_jobs(jobs, config=engine)
-    return average_histories(label, [results[j.key()] for j in jobs])
+    return average_histories(label, _histories(jobs, results))
 
 
 def comparison_traces(
@@ -198,7 +225,7 @@ def comparison_traces(
     all_jobs = [job for jobs in per_strategy.values() for job in jobs]
     results, _ = run_jobs(all_jobs, config=engine)
     return {
-        s: average_histories(s, [results[j.key()] for j in jobs])
+        s: average_histories(s, _histories(jobs, results))
         for s, jobs in per_strategy.items()
     }
 

@@ -27,6 +27,7 @@ from .counters import (
     gauges_snapshot,
     inc,
     reset,
+    value,
 )
 from .sink import (
     LEARNER_PHASES,
@@ -70,6 +71,7 @@ __all__ = [
     # counters
     "inc",
     "gauge",
+    "value",
     "counters_snapshot",
     "gauges_snapshot",
     "drain",

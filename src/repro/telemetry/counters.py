@@ -12,6 +12,23 @@ re-traversed tree counts, and the oracle/cost-model evaluation counts all
 land in one namespace (``engine.*``, ``forest.*``, ``learner.*``,
 ``costmodel.*``) and are exported alongside the span events by
 :mod:`repro.telemetry.sink`.
+
+The fault-tolerance layer reports through the same namespace, so
+``repro trace summarize`` shows what a chaos run survived:
+
+* ``engine.jobs.retried`` / ``engine.jobs.failed`` /
+  ``engine.jobs.timeouts`` — attempt-level retries, permanent failures,
+  and wall-clock timeouts;
+* ``engine.pool.restarts`` / ``engine.pool.degraded_serial`` — worker
+  pools rebuilt after a mid-run death, and batches that fell back to
+  serial execution after repeated deaths;
+* ``engine.faults.{crash,hang,exc,slow}`` — chaos faults injected by
+  :mod:`repro.engine.faults` (``crash`` is counted in the worker that
+  dies, so its increments are lost with the worker by design — observe
+  crashes via ``engine.pool.restarts`` instead);
+* ``engine.store.torn_tail_dropped`` / ``engine.store.corrupt_lines`` /
+  ``engine.store.migrated_artifacts`` / ``engine.store.compactions`` —
+  journal-replay repairs and maintenance in the result store.
 """
 
 from __future__ import annotations
@@ -21,6 +38,7 @@ import threading
 __all__ = [
     "inc",
     "gauge",
+    "value",
     "counters_snapshot",
     "gauges_snapshot",
     "drain",
@@ -43,6 +61,12 @@ def gauge(name: str, value: float) -> None:
     """Set the gauge ``name`` to its latest observed ``value``."""
     with _lock:
         _gauges[name] = value
+
+
+def value(name: str, default: float = 0) -> float:
+    """Current value of one counter (``default`` when never incremented)."""
+    with _lock:
+        return _counts.get(name, default)
 
 
 def counters_snapshot() -> "dict[str, float]":

@@ -211,8 +211,8 @@ class TestResultStore:
         job = trial_jobs("mvt", "random", two_trial_scale, seed=0)[0]
         store = ResultStore(tmp_path)
         store.put(job, execute_job(job))
-        store.path(job.key()).write_text("{truncated", encoding="utf-8")
-        assert store.get(job.key()) is None
+        store.journal_path.write_text("{truncated", encoding="utf-8")
+        assert ResultStore(tmp_path).get(job.key()) is None
 
     def test_schema_mismatch_is_a_miss(self, tmp_path, two_trial_scale):
         job = trial_jobs("mvt", "random", two_trial_scale, seed=0)[0]
@@ -245,7 +245,8 @@ class TestEngineExecution:
         second, stats2 = run_jobs(jobs, config=cfg)
         assert (stats2.executed, stats2.cached) == (0, len(jobs))
         for key in first:
-            assert second[key].records == first[key].records
+            assert second[key].cached and not first[key].cached
+            assert second[key].history.records == first[key].history.records
 
     def test_partial_completion_resumes(self, tmp_path, two_trial_scale):
         """A killed run's surviving artifacts are reused, the rest executed."""
@@ -265,7 +266,7 @@ class TestEngineExecution:
         cached, stats = run_jobs(jobs, config=_quiet(cache_dir=str(tmp_path)))
         assert stats.executed == 0
         for key in fresh:
-            assert cached[key].records == fresh[key].records
+            assert cached[key].history.records == fresh[key].history.records
 
     def test_duplicate_jobs_execute_once(self, two_trial_scale):
         jobs = trial_jobs("mvt", "random", two_trial_scale, seed=0)
