@@ -60,6 +60,7 @@ def cached_comparison(
     """Memoised comparison_traces: figures that share runs share the cost."""
     key = (benchmark_name, strategies, scale.name, seed, alpha)
     if key not in _COMPARISON_CACHE:
+        # repro: allow[SPAWN001] single-process pytest session memo; benchmarks never run in pool workers
         _COMPARISON_CACHE[key] = comparison_traces(
             benchmark_name, strategies, scale, seed=seed, alpha=alpha
         )

@@ -1,0 +1,53 @@
+"""Static reproducibility lint for the repro stack.
+
+``repro.analysis`` parses source trees with :mod:`ast`, resolves a
+lightweight per-module symbol table, and checks a registry of rules
+against the repo's determinism and concurrency contracts — RNG streams
+derive from job keys (DET001), result paths read no wall clocks
+(DET002) or unordered sets (DET003) or ambient environment (DET004),
+worker-visible module state is lock-guarded or justified (SPAWN001),
+telemetry names are literal and namespace-disciplined (TEL001), file
+writes go through the journal/atomic helpers (IO001), and no handler
+swallows exceptions silently (EXC001).
+
+Run it as ``repro lint`` or ``python -m repro.analysis [paths...]``;
+the pytest gate ``tests/test_lint_clean.py`` keeps ``src/repro``
+violation-free.  See DESIGN.md §2f for the full rule table and the
+``# repro: allow[RULE] reason`` suppression grammar.
+"""
+
+from repro.analysis.config import (
+    LintConfig,
+    RuleConfig,
+    default_config,
+    permissive_config,
+)
+from repro.analysis.findings import Finding, LintUsageError
+from repro.analysis.reporters import (
+    JSON_SCHEMA_VERSION,
+    findings_from_json,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import all_rules, get_rule, known_rule_ids
+from repro.analysis.runner import LintResult, lint_paths
+from repro.analysis.cli import main
+
+__all__ = [
+    "Finding",
+    "LintUsageError",
+    "LintConfig",
+    "RuleConfig",
+    "LintResult",
+    "lint_paths",
+    "default_config",
+    "permissive_config",
+    "all_rules",
+    "get_rule",
+    "known_rule_ids",
+    "render_text",
+    "render_json",
+    "findings_from_json",
+    "JSON_SCHEMA_VERSION",
+    "main",
+]

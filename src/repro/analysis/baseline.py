@@ -1,0 +1,123 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the lint gate land before every historical finding is
+fixed: findings whose ``(file, rule, fingerprint)`` appear in the
+baseline are reported as *baselined* and do not fail the run.  Two hard
+rules keep the mechanism honest:
+
+* **Determinism may not be grandfathered.**  ``DET*`` and ``SPAWN*``
+  entries are rejected at both load and write time — a determinism
+  violation is fixed or inline-suppressed with a reason, never waved
+  through silently.
+* Fingerprints are content-addressed (file, rule, offending line text,
+  occurrence index), so a baselined finding stays matched across
+  unrelated edits and un-matches the moment the offending code changes.
+
+The committed file is ``lint-baseline.json`` at the repo root; the
+shipped tree needs no entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.analysis.findings import Finding, LintUsageError
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "NON_BASELINABLE_PREFIXES",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Rule-id prefixes that may never appear in a baseline.
+NON_BASELINABLE_PREFIXES = ("DET", "SPAWN")
+
+
+def _refuse_non_baselinable(rule_id: str, origin: str) -> None:
+    if rule_id.startswith(NON_BASELINABLE_PREFIXES):
+        raise LintUsageError(
+            f"{origin}: determinism rule {rule_id} may not be baselined; "
+            "fix the finding or add an inline 'repro: allow' with a reason"
+        )
+
+
+def load_baseline(path: str) -> "set[tuple[str, str, str]]":
+    """Parse a baseline file into ``{(file, rule, fingerprint)}``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise LintUsageError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintUsageError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if payload.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise LintUsageError(
+            f"baseline {path!r} has schema {payload.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA_VERSION}"
+        )
+    entries: "set[tuple[str, str, str]]" = set()
+    for entry in payload.get("findings", []):
+        rule_id = str(entry["rule"])
+        _refuse_non_baselinable(rule_id, f"baseline {path}")
+        entries.add((str(entry["file"]), rule_id, str(entry["fingerprint"])))
+    return entries
+
+
+def write_baseline(path: str, findings: "list[Finding]") -> int:
+    """Write the baseline for ``findings``; returns how many were recorded.
+
+    Refuses ``DET*``/``SPAWN*`` findings outright — callers must fix
+    those first.  The write is atomic (temp file + ``os.replace``) so a
+    crash cannot leave a torn baseline.
+    """
+    for finding in findings:
+        _refuse_non_baselinable(finding.rule, "write-baseline")
+    payload = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "comment": (
+            "Grandfathered lint findings; DET*/SPAWN* determinism rules "
+            "may not appear here. Regenerate with: repro lint --write-baseline"
+        ),
+        "findings": [
+            {"file": f.file, "rule": f.rule, "fingerprint": f.fingerprint}
+            for f in sorted(findings)
+        ],
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-baseline-")
+    try:
+        # repro: allow[IO001] atomic tmp+fsync+os.replace, mirroring engine/store.py; importing it would drag numpy into the dependency-free linter
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        # repro: allow[EXC001] best-effort temp cleanup; original error re-raised
+        except OSError:
+            pass
+        raise
+    return len(payload["findings"])
+
+
+def apply_baseline(
+    findings: "list[Finding]", baseline: "set[tuple[str, str, str]]"
+) -> "tuple[list[Finding], list[Finding]]":
+    """Split findings into ``(kept, baselined)``."""
+    kept: "list[Finding]" = []
+    baselined: "list[Finding]" = []
+    for finding in findings:
+        if (finding.file, finding.rule, finding.fingerprint) in baseline:
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    return kept, baselined

@@ -1,0 +1,147 @@
+"""Argument parsing shared by ``repro lint`` and ``python -m repro.analysis``.
+
+Exit codes: ``0`` clean (or warnings only), ``1`` at least one
+error-severity finding survived suppressions and the baseline, ``2``
+usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.findings import LintUsageError
+
+__all__ = ["configure_parser", "run_from_args", "main"]
+
+#: Paths linted when none are given (missing ones are skipped).
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests benchmarks, "
+        "skipping those that do not exist)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json schema: see repro.analysis.reporters)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of grandfathered findings (DET*/SPAWN* entries "
+        "are rejected — determinism may not be grandfathered)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write surviving non-DET/SPAWN findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (all others disabled)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--severity",
+        action="append",
+        metavar="RULE=LEVEL",
+        default=[],
+        help="override one rule's severity (error|warning); repeatable",
+    )
+    parser.add_argument(
+        "--no-defaults",
+        action="store_true",
+        help="drop the built-in path allowlists and excludes (every rule "
+        "applies everywhere — what the fixture tests use)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its summary and exit",
+    )
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    from repro.analysis.baseline import write_baseline
+    from repro.analysis.config import default_config, permissive_config
+    from repro.analysis.reporters import render_json, render_text
+    from repro.analysis.rules import all_rules
+    from repro.analysis.runner import lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+
+    try:
+        config = permissive_config() if args.no_defaults else default_config()
+        severities = {}
+        for item in args.severity:
+            rule_id, sep, level = item.partition("=")
+            if not sep:
+                raise LintUsageError(
+                    f"--severity expects RULE=LEVEL, got {item!r}"
+                )
+            severities[rule_id] = level
+        select = tuple(args.select.split(",")) if args.select else None
+        disable = tuple(args.disable.split(",")) if args.disable else ()
+        if select or disable or severities:
+            config = config.with_overrides(
+                select=select, disable=disable, severities=severities
+            )
+
+        paths = list(args.paths)
+        if not paths:
+            import os
+
+            paths = [p for p in DEFAULT_PATHS if os.path.isdir(p)]
+            if not paths:
+                raise LintUsageError(
+                    "no paths given and none of src/, tests/, benchmarks/ "
+                    "exist here"
+                )
+        result = lint_paths(paths, config=config, baseline_path=args.baseline)
+
+        if args.write_baseline:
+            recorded = write_baseline(args.write_baseline, result.findings)
+            print(f"[baseline written {args.write_baseline}: {recorded} finding(s)]")
+            return 0
+    except LintUsageError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result, paths))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    parser = configure_parser(
+        argparse.ArgumentParser(
+            prog="python -m repro.analysis",
+            description=__doc__,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
+    )
+    return run_from_args(parser.parse_args(argv))

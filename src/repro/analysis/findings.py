@@ -1,0 +1,57 @@
+"""Finding records and stable fingerprints.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` is content-addressed — a short SHA-256 over the file
+name, the rule id, the *text* of the offending line, and an occurrence
+index — so a committed baseline keeps matching a finding when unrelated
+edits shift its line number, and stops matching the moment the offending
+code itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Finding", "LintUsageError", "fingerprint", "SEVERITIES"]
+
+#: Recognised severities, strongest first.  ``error`` findings fail the
+#: run (exit code 1); ``warning`` findings are reported but do not.
+SEVERITIES = ("error", "warning")
+
+
+class LintUsageError(Exception):
+    """A configuration or invocation problem (exit code 2, not a finding)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``file:line:col``."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+    fingerprint: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line form: ``file:line:col rule message``."""
+        return f"{self.file}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def with_fingerprint(self, source_line: str, index: int) -> "Finding":
+        """Copy of this finding carrying its content fingerprint."""
+        return replace(
+            self, fingerprint=fingerprint(self.file, self.rule, source_line, index)
+        )
+
+
+def fingerprint(file: str, rule: str, source_line: str, index: int) -> str:
+    """Line-number-independent identity of one finding.
+
+    ``index`` disambiguates repeated identical lines in the same file
+    (the n-th occurrence keeps the n-th fingerprint).
+    """
+    payload = "\x1f".join((file, rule, source_line.strip(), str(index)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

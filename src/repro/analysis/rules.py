@@ -1,0 +1,79 @@
+"""The rule registry: id → (summary, rationale, checker).
+
+Checkers register themselves with the :func:`rule` decorator; duplicate
+ids are rejected loudly (the same hygiene the strategy/benchmark
+registries enforce — a silently shadowed rule would lint nothing while
+claiming coverage).  A checker is a callable taking a
+:class:`~repro.analysis.symbols.ModuleContext` and yielding
+``(lineno, col, message)`` triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.symbols import ModuleContext
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule", "known_rule_ids"]
+
+Checker = Callable[[ModuleContext], Iterable[tuple]]
+
+_RULES: "dict[str, Rule]" = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, human rationale, and its checker."""
+
+    id: str
+    summary: str
+    rationale: str
+    checker: Checker
+
+    def run(self, module: ModuleContext) -> "list[tuple[int, int, str]]":
+        """Raw ``(line, col, message)`` hits of this rule on one module."""
+        return list(self.checker(module))
+
+
+def rule(rule_id: str, summary: str, rationale: str = "") -> "Callable[[Checker], Checker]":
+    """Decorator registering ``checker`` under ``rule_id``.
+
+    Re-registering an id raises — rule ids are part of the suppression
+    and baseline contract and must stay unambiguous.
+    """
+
+    def register(checker: Checker) -> Checker:
+        if rule_id in _RULES:
+            raise ValueError(f"lint rule {rule_id!r} is already registered")
+        # repro: allow[SPAWN001] rule registry populated by decorators at import time
+        _RULES[rule_id] = Rule(
+            id=rule_id, summary=summary, rationale=rationale, checker=checker
+        )
+        return checker
+
+    return register
+
+
+def all_rules() -> "tuple[Rule, ...]":
+    """Every registered rule, sorted by id."""
+    _ensure_loaded()
+    return tuple(_RULES[k] for k in sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id (:class:`KeyError` on unknown ids)."""
+    _ensure_loaded()
+    return _RULES[rule_id]
+
+
+def known_rule_ids() -> "tuple[str, ...]":
+    """Sorted ids of every registered rule."""
+    _ensure_loaded()
+    return tuple(sorted(_RULES))
+
+
+def _ensure_loaded() -> None:
+    # Import for the side effect of registration; deferred to avoid the
+    # checkers ↔ registry import cycle.
+    import repro.analysis.checkers  # noqa: F401

@@ -1,0 +1,157 @@
+"""The lint driver: walk files, run rules, apply suppressions and baseline.
+
+:func:`lint_paths` is the single entry point used by the CLI, the
+pytest gate, and the fixture tests.  The walk is fully deterministic —
+files are discovered with a sorted traversal, findings are sorted by
+``(file, line, col, rule)`` — because the linter polices a determinism
+contract and must honour it itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.config import LintConfig, default_config, path_matches
+from repro.analysis.findings import Finding, LintUsageError
+from repro.analysis.rules import all_rules
+from repro.analysis.suppress import Suppression, parse_suppressions, suppression_for
+from repro.analysis.symbols import ModuleContext
+
+__all__ = ["LintResult", "lint_paths", "iter_python_files"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: "list[Finding]" = field(default_factory=list)
+    suppressed: "list[tuple[str, Suppression]]" = field(default_factory=list)
+    baselined: int = 0
+    files_scanned: int = 0
+    config: LintConfig = field(default_factory=default_config)
+
+    @property
+    def errors(self) -> "list[Finding]":
+        """Findings at ``error`` severity — the ones that fail the run."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no error-severity findings survived, else 1."""
+        return 1 if self.errors else 0
+
+
+def iter_python_files(
+    paths: "list[str]", exclude: tuple = ()
+) -> "list[tuple[Path, str]]":
+    """``(absolute_path, report_name)`` for every ``.py`` under ``paths``.
+
+    ``report_name`` is the path as the user referenced it (relative
+    stays relative), which keeps report lines stable across machines.
+    The traversal is sorted so runs are byte-identical.
+    """
+    seen: "set[Path]" = set()
+    out: "list[tuple[Path, str]]" = []
+    for root in paths:
+        root_path = Path(root)
+        if not root_path.exists():
+            raise LintUsageError(f"path {root!r} does not exist")
+        if root_path.is_file():
+            candidates = [root_path]
+        else:
+            candidates = sorted(
+                p for p in root_path.rglob("*.py") if p.is_file()
+            )
+        for path in candidates:
+            name = path.as_posix()
+            if path_matches(name, exclude):
+                continue
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append((path, name))
+    return out
+
+
+def _lint_file(
+    path: Path, name: str, config: LintConfig
+) -> "tuple[list[Finding], list[tuple[str, Suppression]]]":
+    """All post-suppression findings in one file."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintUsageError(f"cannot read {name!r}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=name)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    file=name,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="SYNTAX",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
+    module = ModuleContext(name, source, tree)
+    table = parse_suppressions(module.lines)
+    occurrence: "dict[tuple[str, str], int]" = {}
+
+    findings: "list[Finding]" = []
+    suppressed: "list[tuple[str, Suppression]]" = []
+    for rule in all_rules():
+        rule_cfg = config.rule(rule.id)
+        if not rule_cfg.enabled or path_matches(name, rule_cfg.allow_paths):
+            continue
+        for line, col, message in rule.run(module):
+            marker = suppression_for(table, line, rule.id)
+            if marker is not None and marker.valid:
+                suppressed.append((name, marker))
+                continue
+            if marker is not None:
+                message += " (suppression ignored: missing reason)"
+            line_text = module.line_text(line)
+            index = occurrence.get((rule.id, line_text.strip()), 0)
+            occurrence[(rule.id, line_text.strip())] = index + 1
+            findings.append(
+                Finding(
+                    file=name,
+                    line=line,
+                    col=col,
+                    rule=rule.id,
+                    message=message,
+                    severity=rule_cfg.severity,
+                ).with_fingerprint(line_text, index)
+            )
+    return findings, suppressed
+
+
+def lint_paths(
+    paths: "list[str]",
+    config: "LintConfig | None" = None,
+    baseline_path: "str | None" = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``; see :class:`LintResult`."""
+    config = config if config is not None else default_config()
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+
+    result = LintResult(config=config)
+    for path, name in iter_python_files([os.fspath(p) for p in paths], config.exclude):
+        findings, suppressed = _lint_file(path, name, config)
+        result.findings.extend(findings)
+        result.suppressed.extend(suppressed)
+        result.files_scanned += 1
+    if baseline:
+        kept, baselined = apply_baseline(result.findings, baseline)
+        result.findings = kept
+        result.baselined = len(baselined)
+    result.findings.sort()
+    return result

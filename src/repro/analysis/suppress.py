@@ -1,0 +1,70 @@
+"""Inline suppression comments.
+
+The grammar is ``# repro: allow[RULE_ID] reason`` — the marker may sit
+at the end of the offending line or on the line directly above it, and
+the reason is **mandatory**: a suppression without one does not
+suppress (the finding is reported with a note instead), because an
+unexplained waiver is indistinguishable from a stale one.
+
+One marker waives exactly one rule; several markers may share a line
+(``# repro: allow[DET002] ... allow[DET004] ...`` is two markers).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "parse_suppressions", "suppression_for"]
+
+_MARKER = re.compile(r"#\s*repro:\s*(allow\[[^\]]+\][^#]*)")
+_ALLOW = re.compile(r"allow\[([A-Za-z0-9_]+)\]\s*([^#]*?)(?=allow\[|$)")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow[...]`` marker."""
+
+    line: int
+    rule: str
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        """Suppressions must carry a non-empty reason to take effect."""
+        return bool(self.reason.strip())
+
+
+def parse_suppressions(lines: "list[str]") -> "dict[int, list[Suppression]]":
+    """All suppression markers in a file, keyed by 1-based line number."""
+    table: "dict[int, list[Suppression]]" = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _MARKER.search(text)
+        if not match:
+            continue
+        for allow in _ALLOW.finditer(match.group(1)):
+            table.setdefault(lineno, []).append(
+                Suppression(
+                    line=lineno,
+                    rule=allow.group(1),
+                    reason=allow.group(2).strip(),
+                )
+            )
+    return table
+
+
+def suppression_for(
+    table: "dict[int, list[Suppression]]", line: int, rule: str
+) -> "Suppression | None":
+    """The marker covering ``(line, rule)``, if any.
+
+    A marker covers the line it sits on and the line directly below it
+    (i.e. a comment-above suppresses the next line).  Invalid
+    (reason-less) markers are returned too so the caller can annotate
+    the surviving finding.
+    """
+    for candidate_line in (line, line - 1):
+        for supp in table.get(candidate_line, ()):
+            if supp.rule == rule:
+                return supp
+    return None

@@ -1,0 +1,171 @@
+"""Lightweight per-module symbol resolution for the rule checkers.
+
+Full type inference is out of scope; what the determinism rules need is
+much smaller and entirely syntactic:
+
+* which local names are *imported modules* (``import numpy as np`` maps
+  ``np`` → ``numpy``) or *imported attributes* (``from time import
+  time`` maps ``time`` → ``time.time``), so a call site can be
+  qualified back to the real dotted path it invokes;
+* which module-level names are bound to *mutable containers*
+  (dict/list/set/deque literals or constructor calls) — the state
+  SPAWN001 guards;
+* which module-level names are bound to ``threading.Lock()`` /
+  ``RLock()`` — mutations under ``with <lock>:`` are concurrency-safe.
+
+:func:`annotate_parents` threads a ``_repro_parent`` backlink through
+the tree so checkers can walk outward (is this read a subscript store?
+is this mutation inside a lock's ``with`` block?).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ModuleSymbols", "ModuleContext", "annotate_parents", "parent_chain"]
+
+#: Constructor calls whose result is a mutable container.
+_MUTABLE_CONSTRUCTORS = {
+    "dict",
+    "list",
+    "set",
+    "deque",
+    "OrderedDict",
+    "defaultdict",
+    "Counter",
+}
+
+_LOCK_CONSTRUCTORS = {"Lock", "RLock"}
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a ``_repro_parent`` backlink to every node in ``tree``."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def parent_chain(node: ast.AST):
+    """Yield ``node``'s ancestors, innermost first."""
+    current = getattr(node, "_repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_parent", None)
+
+
+class ModuleSymbols:
+    """Import aliases plus module-level mutable/lock bindings."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local alias → dotted module path ("np" → "numpy").
+        self.module_imports: "dict[str, str]" = {}
+        #: local name → dotted origin ("time" → "time.time").
+        self.attribute_imports: "dict[str, str]" = {}
+        #: module-level names bound to mutable containers.
+        self.mutable_globals: "set[str]" = set()
+        #: module-level names bound to threading locks.
+        self.lock_globals: "set[str]" = set()
+        self._scan_block(tree.body)
+
+    # -- construction -------------------------------------------------------
+    def _scan_block(self, body: "list[ast.stmt]") -> None:
+        """Scan module-level statements (descending into if/try blocks)."""
+        for stmt in body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    self.module_imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    self.attribute_imports[alias.asname or alias.name] = (
+                        f"{stmt.module}.{alias.name}"
+                    )
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                value = stmt.value
+                if value is None:
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if self._is_mutable_literal(value):
+                        self.mutable_globals.add(target.id)
+                    elif self._is_lock_call(value):
+                        self.lock_globals.add(target.id)
+            elif isinstance(stmt, ast.If):
+                self._scan_block(stmt.body)
+                self._scan_block(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                self._scan_block(stmt.body)
+                for handler in stmt.handlers:
+                    self._scan_block(handler.body)
+                self._scan_block(stmt.orelse)
+                self._scan_block(stmt.finalbody)
+
+    def _is_mutable_literal(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = self._call_basename(node)
+            return name in _MUTABLE_CONSTRUCTORS
+        return False
+
+    def _is_lock_call(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        qualified = self.qualified(node.func)
+        if qualified in ("threading.Lock", "threading.RLock"):
+            return True
+        return self._call_basename(node) in _LOCK_CONSTRUCTORS
+
+    @staticmethod
+    def _call_basename(node: ast.Call) -> "str | None":
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    # -- queries ------------------------------------------------------------
+    def qualified(self, node: ast.expr) -> "str | None":
+        """Dotted origin of an expression, resolved through imports.
+
+        ``np.random.seed`` → ``"numpy.random.seed"``; ``datetime.now``
+        after ``from datetime import datetime`` → ``"datetime.datetime.now"``.
+        Returns ``None`` for anything not rooted in an import (locals,
+        attributes of call results, builtins).
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.module_imports:
+                return self.module_imports[node.id]
+            if node.id in self.attribute_imports:
+                return self.attribute_imports[node.id]
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.qualified(node.value)
+            return f"{base}.{node.attr}" if base else None
+        return None
+
+
+class ModuleContext:
+    """Everything a checker needs about one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        annotate_parents(tree)
+        self.symbols = ModuleSymbols(tree)
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of 1-based ``lineno`` (empty string out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""

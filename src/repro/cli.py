@@ -13,6 +13,7 @@ Examples
     repro fig2 --jobs 8 --cache-dir ~/.cache/repro   # parallel + resumable
     repro fig6 --trace                 # + JSONL telemetry trace & summary
     repro trace summarize trace-*.jsonl
+    repro lint --format json           # static reproducibility lint
 
 Scales: ``paper`` (the full Section III-D protocol), ``quick`` (default;
 minutes on one core), ``smoke`` (seconds, CI-sized).
@@ -119,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list benchmarks and strategies")
     sub.add_parser("tables", help="print Tables I-IV")
 
+    from repro.analysis.cli import configure_parser as configure_lint
+
+    configure_lint(
+        sub.add_parser(
+            "lint",
+            help="static reproducibility lint (AST rules; see repro.analysis)",
+        )
+    )
+
     pt = sub.add_parser("trace", help="telemetry trace utilities")
     tsub = pt.add_subparsers(dest="trace_command", required=True)
     ts = tsub.add_parser(
@@ -166,6 +176,11 @@ def _emit(result, out_dir: "str | None") -> None:
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        from repro.analysis.cli import run_from_args
+
+        return run_from_args(args)
 
     # Deferred imports keep `repro list --help` fast.
     from repro.experiments import figures

@@ -109,10 +109,13 @@ def _prepared(benchmark_name: str, scale, seed: int) -> tuple:
             pool, X_test, y_test = prepare_data(benchmark, scale, data_rng)
         telemetry.inc("engine.prepared_benchmarks")
         entry = (benchmark, pool, X_test, y_test)
+        # repro: allow[SPAWN001] per-process memo: pool workers are processes, not threads; no cross-process sharing
         _PREPARED[key] = entry
         while len(_PREPARED) > _PREPARED_MAX:
+            # repro: allow[SPAWN001] per-process memo eviction, same as above
             _PREPARED.popitem(last=False)
     else:
+        # repro: allow[SPAWN001] per-process memo LRU touch, same as above
         _PREPARED.move_to_end(key)
     return entry
 
@@ -146,6 +149,7 @@ def _traced_execute(
         "engine.job",
         key=key[:12],
         job=job.describe(),
+        # repro: allow[DET002] queue-wait is a telemetry attribute; never enters results
         queue_wait=time.time() - submit_ts,
         attempt=attempt,
     ):
@@ -157,6 +161,7 @@ def _plan(spec: "str | None") -> faults_mod.FaultPlan:
     plan = _PLANS.get(spec)
     if plan is None:
         plan = faults_mod.plan_from_spec(spec)
+        # repro: allow[SPAWN001] per-process memo of a parse result; workers are processes, not threads
         _PLANS[spec] = plan
     return plan
 
@@ -313,6 +318,7 @@ def _run_serial(
         while True:
             reporter.job_started(job.describe())
             outcome, payload = _attempt(
+                # repro: allow[DET002] submit timestamp feeds the queue-wait telemetry attribute only
                 key, job, time.time(), attempt, plan, config.job_timeout
             )
             if outcome == "ok":
@@ -369,6 +375,7 @@ def _run_parallel(
             telemetry.inc("engine.jobs.retried")
             reporter.job_retried(f"{job.describe()} ({why})")
             delay = _backoff_seconds(key, attempt + 1, config.retry_backoff)
+            # repro: allow[DET002] retry-backoff scheduling clock; results are key-derived regardless of timing
             deferred.append((time.monotonic() + delay, key, job, attempt + 1))
         else:
             telemetry.inc("engine.jobs.failed")
@@ -411,6 +418,7 @@ def _run_parallel(
         futures: "dict[object, tuple[str, TrialJob, int]]" = {}
         try:
             while (todo or deferred or futures) and not broken:
+                # repro: allow[DET002] backoff readiness check; scheduling only, never in results
                 now = time.monotonic()
                 still = []
                 for ready_at, key, job, attempt in deferred:
@@ -427,6 +435,7 @@ def _run_parallel(
                             (
                                 key,
                                 job,
+                                # repro: allow[DET002] submit timestamp feeds the queue-wait telemetry attribute only
                                 time.time(),
                                 attempt,
                                 config.job_timeout,
@@ -445,11 +454,13 @@ def _run_parallel(
                     # Everything is backing off: sleep until the earliest.
                     if deferred:
                         earliest = min(r for r, *_ in deferred)
+                        # repro: allow[DET002] sleep until the earliest backoff deadline; scheduling only
                         time.sleep(max(0.0, earliest - time.monotonic()))
                     continue
                 wait_timeout = None
                 if deferred:
                     earliest = min(r for r, *_ in deferred)
+                    # repro: allow[DET002] wait timeout from the backoff deadline; scheduling only
                     wait_timeout = max(0.0, earliest - time.monotonic())
                 done, _ = wait(
                     set(futures),
@@ -511,6 +522,7 @@ def _run_parallel(
             if fut.done() and not fut.cancelled():
                 try:
                     rkey, outcome, payload, events, delta = fut.result()
+                # repro: allow[EXC001] salvage probe on a dead pool's future; unsalvaged jobs are charged an attempt below
                 except BaseException:
                     pass
                 else:

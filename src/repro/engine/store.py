@@ -41,7 +41,12 @@ from repro.active import LearningHistory
 from repro.engine.jobs import JOB_SCHEMA_VERSION, TrialJob
 from repro.telemetry import counters
 
-__all__ = ["ResultStore", "STORE_SCHEMA_VERSION", "JOURNAL_NAME"]
+__all__ = [
+    "ResultStore",
+    "STORE_SCHEMA_VERSION",
+    "JOURNAL_NAME",
+    "atomic_write_text",
+]
 
 #: Version of the artifact payload; mismatched entries are ignored (cache
 #: miss).  The journal stores the same payload the legacy per-key files
@@ -65,10 +70,35 @@ def _fsync_dir(path: Path) -> None:
         return
     try:
         os.fsync(fd)
-    except OSError:  # pragma: no cover - fsync unsupported on dir
+    except OSError:  # pragma: no cover  # repro: allow[EXC001] directory fsync is best-effort durability; unsupported on some filesystems
         pass
     finally:
         os.close(fd)
+
+
+def atomic_write_text(path: "str | os.PathLike", text: str) -> None:
+    """Crash-safe whole-file write: temp file, flush+fsync, ``os.replace``.
+
+    The blessed write path for every artifact in ``src/`` that is not a
+    journal append (the static lint's IO001 rule points here): a reader
+    can never observe a torn file, only the old content or the new.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".txt")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover  # repro: allow[EXC001] best-effort temp cleanup; the original error re-raises
+            pass
+        raise
+    _fsync_dir(directory)
 
 
 class ResultStore:
@@ -168,6 +198,7 @@ class ResultStore:
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
                 key = payload["key"]
+            # repro: allow[EXC001] unreadable legacy artifact is deliberately a cache miss, per the durability model
             except (OSError, json.JSONDecodeError, KeyError, TypeError):
                 continue
             if key not in self._index:
@@ -176,7 +207,7 @@ class ResultStore:
                 counters.inc("engine.store.migrated_artifacts")
             try:
                 path.unlink()
-            except OSError:  # pragma: no cover - e.g. read-only store
+            except OSError:  # pragma: no cover  # repro: allow[EXC001] read-only store: leaving the migrated legacy file is harmless
                 pass
 
     @staticmethod
@@ -275,7 +306,7 @@ class ResultStore:
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
+            except OSError:  # repro: allow[EXC001] best-effort temp cleanup; the original error re-raises
                 pass
             raise
         _fsync_dir(self.root)
@@ -294,7 +325,7 @@ class ResultStore:
             try:
                 path.unlink()
                 removed += 1
-            except OSError:  # pragma: no cover - raced with another run
+            except OSError:  # pragma: no cover  # repro: allow[EXC001] another run may sweep the same temp file first
                 pass
         return removed
 

@@ -67,6 +67,7 @@ SCALES: dict[str, ExperimentScale] = {
 
 def scale_from_env(default: str = "quick") -> ExperimentScale:
     """Resolve the scale from ``REPRO_SCALE`` (default ``quick``)."""
+    # repro: allow[DET004] harness-level scale selection resolved before any job; the chosen scale is recorded in every result
     name = os.environ.get("REPRO_SCALE", default)
     try:
         return SCALES[name]

@@ -120,6 +120,13 @@ def traces_to_csv(
 
 
 def dump_json(obj: dict, path: str) -> None:
-    """Persist a results dictionary as JSON."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(obj, fh, indent=2, sort_keys=True)
+    """Persist a results dictionary as JSON, atomically.
+
+    Routed through :func:`repro.engine.store.atomic_write_text` so an
+    interrupted run can never leave a torn results file behind (the
+    IO001 lint contract).  Deferred import: rendering helpers stay
+    usable without pulling the engine in.
+    """
+    from repro.engine.store import atomic_write_text
+
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True))

@@ -102,6 +102,7 @@ def load() -> "ctypes.CDLL | None":
     global _lib, _attempted
     if _attempted:
         return _lib
+    # repro: allow[SPAWN001] per-process lazy-load latch; each process probes the compiler once
     _attempted = True
     if os.environ.get("REPRO_PURE_NUMPY"):
         return None
@@ -123,8 +124,10 @@ def load() -> "ctypes.CDLL | None":
                 _build(so_path)
             lib = ctypes.CDLL(str(so_path))
             _configure(lib)
+            # repro: allow[SPAWN001] per-process ctypes handle; processes never share it
             _lib = lib
             return _lib
+        # repro: allow[EXC001] fall through to the next build candidate; total failure means the numpy fallback
         except Exception:
             continue
     return None

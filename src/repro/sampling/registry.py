@@ -54,7 +54,12 @@ def register_strategy(name: str, factory, overwrite: bool = False) -> None:
     silently shadowed strategy would corrupt comparisons.
     """
     if not overwrite and name in _REGISTRY:
-        raise ValueError(f"strategy {name!r} is already registered")
+        raise ValueError(
+            f"strategy {name!r} is already registered; a silently shadowed "
+            "strategy would corrupt comparisons — pass overwrite=True to "
+            "replace it deliberately"
+        )
+    # repro: allow[SPAWN001] registry populated at import time (and in test setup), before any worker exists
     _REGISTRY[name] = factory
 
 

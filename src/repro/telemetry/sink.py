@@ -76,6 +76,7 @@ def write_trace(
         "n_events": len(events),
         "dropped_events": int(dropped),
     }
+    # repro: allow[IO001] observability output, never a result artifact; a torn trace is detectable via the header's n_events
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(json.dumps(header, sort_keys=True) + "\n")
         for event in events:

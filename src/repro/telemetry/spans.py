@@ -55,6 +55,7 @@ TRACE_ENV = "REPRO_TRACE"
 #: Ring-buffer capacity (events); the oldest events are dropped beyond it.
 DEFAULT_CAPACITY = 1 << 16
 
+# repro: allow[DET004] import-time trace gate; tracing on/off is bit-identical (test_trace_equivalence)
 _enabled: bool = os.environ.get(TRACE_ENV, "") not in ("", "0")
 _lock = threading.Lock()
 _buffer: "deque[dict]" = deque(maxlen=DEFAULT_CAPACITY)
@@ -70,12 +71,14 @@ def enabled() -> bool:
 def enable() -> None:
     """Switch span recording on (idempotent)."""
     global _enabled
+    # repro: allow[SPAWN001] process-wide gate flipped by the parent before jobs run; workers set their own in _worker_init
     _enabled = True
 
 
 def disable() -> None:
     """Switch span recording off; buffered events are kept until drained."""
     global _enabled
+    # repro: allow[SPAWN001] process-wide gate, as in enable()
     _enabled = False
 
 
@@ -88,10 +91,12 @@ def tracing(on: bool = True):
     """
     global _enabled
     previous = _enabled
+    # repro: allow[SPAWN001] scoped gate flip in the controlling process (tests/facade), not worker code
     _enabled = on
     try:
         yield
     finally:
+        # repro: allow[SPAWN001] restores the gate on scope exit, as above
         _enabled = previous
 
 

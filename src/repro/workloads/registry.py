@@ -20,7 +20,11 @@ _REGISTRY: dict[str, Callable[[], Benchmark]] = {}
 def register_benchmark(name: str, factory: Callable[[], Benchmark]) -> None:
     """Register ``factory`` under ``name``; re-registration is an error."""
     if name in _REGISTRY:
-        raise ValueError(f"benchmark {name!r} is already registered")
+        raise ValueError(
+            f"benchmark {name!r} is already registered; remove the duplicate "
+            "registration instead of shadowing it"
+        )
+    # repro: allow[SPAWN001] registry populated at import time, before any worker exists
     _REGISTRY[name] = factory
 
 

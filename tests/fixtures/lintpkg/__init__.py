@@ -1,0 +1,12 @@
+"""Seeded-violation fixture package for the reproducibility lint.
+
+One module per rule id, each containing exactly one *active* violation
+(the rule must fire exactly once) and one *suppressed twin* — the same
+construct carrying a ``# repro: allow[RULE] reason`` marker, which must
+be silenced and reported in :attr:`LintResult.suppressed`.
+
+These files are linted (parsed), never imported; the package sits under
+``tests/fixtures/`` which the default lint configuration excludes, and
+the fixture tests run it with
+:func:`repro.analysis.config.permissive_config` instead.
+"""

@@ -1,0 +1,16 @@
+"""DET001 fixture: bare ``random.*`` global-state call."""
+
+import random
+
+#: Explicit instance construction is allowed and must NOT fire.
+_OWNED = random.Random(0)
+
+
+def roll() -> float:
+    """Active violation: draws from the hidden module-global stream."""
+    return random.random()
+
+
+def roll_quietly() -> float:
+    """Suppressed twin of :func:`roll`."""
+    return random.random()  # repro: allow[DET001] fixture twin: seeded-violation test data

@@ -1,0 +1,13 @@
+"""DET002 fixture: wall-clock read in a result-affecting module."""
+
+import time
+
+
+def stamp() -> float:
+    """Active violation: reads the wall clock."""
+    return time.time()
+
+
+def stamp_quietly() -> float:
+    """Suppressed twin of :func:`stamp`."""
+    return time.time()  # repro: allow[DET002] fixture twin: seeded-violation test data

@@ -1,0 +1,25 @@
+"""DET003 fixture: iteration over a set without ``sorted(...)``."""
+
+
+def unordered_total() -> int:
+    """Active violation: iterates a set literal directly."""
+    total = 0
+    for item in {3, 1, 2}:
+        total += item
+    return total
+
+
+def quietly_unordered_total() -> int:
+    """Suppressed twin of :func:`unordered_total`."""
+    total = 0
+    for item in {3, 1, 2}:  # repro: allow[DET003] fixture twin: sum is order-independent
+        total += item
+    return total
+
+
+def ordered_total() -> int:
+    """Sorted materialisation — must NOT fire."""
+    total = 0
+    for item in sorted({3, 1, 2}):
+        total += item
+    return total

@@ -1,0 +1,13 @@
+"""DET004 fixture: ``os.environ`` read outside the blessed config modules."""
+
+import os
+
+
+def read_env() -> "str | None":
+    """Active violation: ambient environment read."""
+    return os.environ.get("REPRO_FIXTURE")
+
+
+def read_env_quietly() -> "str | None":
+    """Suppressed twin of :func:`read_env`."""
+    return os.environ.get("REPRO_FIXTURE")  # repro: allow[DET004] fixture twin: seeded-violation test data

@@ -1,0 +1,25 @@
+"""EXC001 fixture: silently swallowed exception."""
+
+
+def swallow() -> None:
+    """Active violation: handler body is only ``pass``."""
+    try:
+        int("x")
+    except ValueError:
+        pass
+
+
+def swallow_quietly() -> None:
+    """Suppressed twin of :func:`swallow`."""
+    try:
+        int("y")
+    except ValueError:  # repro: allow[EXC001] fixture twin: seeded-violation test data
+        pass
+
+
+def handle() -> int:
+    """A handler that records — must NOT fire."""
+    try:
+        return int("z")
+    except ValueError:
+        return -1

@@ -1,0 +1,19 @@
+"""IO001 fixture: raw file write bypassing the atomic-write helpers."""
+
+
+def dump(path: str, text: str) -> None:
+    """Active violation: direct ``open(..., "w")``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def dump_quietly(path: str, text: str) -> None:
+    """Suppressed twin of :func:`dump`."""
+    with open(path, "w", encoding="utf-8") as fh:  # repro: allow[IO001] fixture twin: seeded-violation test data
+        fh.write(text)
+
+
+def load(path: str) -> str:
+    """Read-only open — must NOT fire."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()

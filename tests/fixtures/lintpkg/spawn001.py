@@ -1,0 +1,23 @@
+"""SPAWN001 fixture: module-level mutable state mutated in a function."""
+
+import threading
+
+_CACHE = {}
+_LOCK = threading.Lock()
+
+
+def remember(key, value):
+    """Active violation: unguarded mutation of a module-level dict."""
+    _CACHE[key] = value
+
+
+def remember_quietly(key, value):
+    """Suppressed twin of :func:`remember`."""
+    # repro: allow[SPAWN001] fixture twin: seeded-violation test data
+    _CACHE[key] = value
+
+
+def remember_locked(key, value):
+    """Mutation under the module lock — must NOT fire."""
+    with _LOCK:
+        _CACHE[key] = value

@@ -1,0 +1,18 @@
+"""TEL001 fixture: telemetry name outside the namespace grammar."""
+
+from repro.telemetry import counters
+
+
+def bump() -> None:
+    """Active violation: name outside engine./forest./learner./costmodel."""
+    counters.inc("fixture.bad_namespace")
+
+
+def bump_quietly(name: str) -> None:
+    """Suppressed twin: a computed (non-literal) telemetry name."""
+    counters.inc(name)  # repro: allow[TEL001] fixture twin: seeded-violation test data
+
+
+def bump_properly() -> None:
+    """In-grammar literal name — must NOT fire."""
+    counters.inc("engine.fixture_events")

@@ -1,0 +1,60 @@
+"""The lint gate: the shipped tree must be violation-free.
+
+This is the test the static reproducibility contract hangs off — every
+``src/repro`` module passes all eight rules under the default
+configuration, and the committed baseline stays empty (nothing is
+grandfathered).
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import default_config, lint_paths
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "lint-baseline.json"
+
+
+def _render(findings):
+    return "\n".join(f.render() for f in findings)
+
+
+def test_src_tree_is_lint_clean():
+    """src/repro has zero findings under the default contract."""
+    result = lint_paths([ROOT / "src" / "repro"], config=default_config())
+    assert result.files_scanned > 50
+    assert not result.findings, f"lint regressions:\n{_render(result.findings)}"
+    assert result.exit_code == 0
+
+
+def test_full_default_walk_is_clean_with_committed_baseline():
+    """The exact surface CI lints (src, tests, benchmarks) passes."""
+    paths = [ROOT / p for p in ("src", "tests", "benchmarks") if (ROOT / p).is_dir()]
+    result = lint_paths(
+        paths, config=default_config(), baseline_path=str(BASELINE)
+    )
+    assert not result.findings, f"lint regressions:\n{_render(result.findings)}"
+    assert result.exit_code == 0
+
+
+def test_committed_baseline_is_empty():
+    """Nothing is grandfathered: the shipped baseline has no entries."""
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert payload["schema"] == 1
+    assert payload["findings"] == []
+
+
+def test_every_suppression_in_src_carries_a_reason():
+    """No reason-less ``repro: allow`` markers hide in the tree."""
+    from repro.analysis.suppress import parse_suppressions
+
+    bad = []
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        table = parse_suppressions(
+            path.read_text(encoding="utf-8").splitlines()
+        )
+        for line, supps in table.items():
+            for supp in supps:
+                if not supp.valid:
+                    bad.append(f"{path}:{line} allow[{supp.rule}] has no reason")
+    assert not bad, "\n".join(bad)
