@@ -1,0 +1,72 @@
+"""Tuning as a service: drive a daemon session with the typed client.
+
+Starts the JSON-over-HTTP tuning daemon in-process on an ephemeral
+loopback port (in production you would run ``repro serve`` instead),
+then plays the *client-evaluated* protocol: the server picks which
+configurations to measure next (PWU on a live random-forest surrogate),
+this script "measures" them, and reports the results back — the loop
+from the paper's Algorithm 1, split across a wire.
+
+Finally it downloads the fitted surrogate, byte-for-byte identical to
+what an offline run with the same seed would have produced, and uses it
+to rank a few configurations locally.
+"""
+
+import tempfile
+
+import numpy as np
+
+import repro.api
+from repro.service import ServiceConfig, TuningServer
+from repro.service.protocol import SessionSpec
+from repro.service.session import measure_round
+
+
+def main() -> None:
+    spec_fields = dict(
+        benchmark="atax",
+        strategy="pwu",
+        seed=42,
+        n_init=5,
+        n_max=20,
+        pool_size=200,
+        test_size=150,
+    )
+    # In this example the "measurement" is the benchmark's synthetic
+    # model; a real deployment would compile and time the configuration.
+    spec = SessionSpec.from_payload(dict(spec_fields))
+
+    with tempfile.TemporaryDirectory() as data_dir:
+        server = TuningServer(ServiceConfig(port=0, data_dir=data_dir)).start()
+        try:
+            client = repro.api.connect(server.url)
+            print(f"daemon {server.url} is {client.healthz()['status']}")
+
+            session = client.create_session(**spec_fields)
+            sid = session["id"]
+            print(f"opened session {sid} ({session['strategy']} on "
+                  f"{session['benchmark']}, budget {session['n_max']})")
+
+            snapshot = session
+            while snapshot["state"] == "open":
+                suggestion = client.suggest(sid)
+                y = measure_round(
+                    spec, np.asarray(suggestion["x"]), suggestion["round"]
+                )
+                snapshot = client.report(sid, suggestion["indices"], y)
+            print(f"session {snapshot['state']} after {snapshot['rounds']} "
+                  f"suggest/report rounds ({snapshot['n_labeled']} samples)")
+
+            model = client.model(sid)
+            mu, sigma = model.predict_with_uncertainty(
+                np.asarray(suggestion["x"], dtype=np.float64)
+            )
+            best = int(np.argmin(mu))
+            print(f"served model ranks {len(mu)} candidates; "
+                  f"best predicted time {mu[best]:.4f} ± {sigma[best]:.4f}")
+        finally:
+            server.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,15 @@ to the training set, and the forest is refit (or partially refreshed) —
 until the training set reaches ``n_max``.  After the cold start and after
 every ``eval_every``-th iteration the model is evaluated on the held-out
 test set (RMSE@α per Equation 2) and the trace recorded.
+
+The loop body is exposed as two incremental entry points —
+:meth:`ActiveLearner.suggest` (pick the next batch) and
+:meth:`ActiveLearner.observe` (feed back the measured labels) — so
+external drivers that *own the measurement step* (the tuning service's
+client-evaluated sessions, interactive notebooks) reuse the exact
+select/record logic instead of reimplementing it.  :meth:`ActiveLearner.run`
+is a thin loop over the two and stays bit-identical to the historical
+monolithic implementation (enforced by ``tests/test_trace_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -130,6 +139,10 @@ class ActiveLearner:
         self._pending_selected: list[int] = []
         self._pending_mu: list[float] = []
         self._pending_sigma: list[float] = []
+        #: Batch issued by :meth:`suggest` and not yet fed to
+        #: :meth:`observe`: ``(phase, indices, X, mu, sigma)`` or ``None``.
+        self._awaiting: "tuple | None" = None
+        self._iteration = 0
 
     # -- internals ---------------------------------------------------------
     def _make_model(self):
@@ -190,66 +203,151 @@ class ActiveLearner:
         self._pending_mu.clear()
         self._pending_sigma.clear()
 
+    # -- incremental entry points ------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the training set has reached ``config.n_max``."""
+        return self.model is not None and len(self.y_train) >= self.config.n_max
+
+    @property
+    def n_labeled(self) -> int:
+        """Number of labeled configurations in the training set so far."""
+        return len(self.y_train)
+
+    @property
+    def pending(self) -> "tuple[np.ndarray, np.ndarray] | None":
+        """The outstanding suggested batch as ``(indices, X)``, or ``None``.
+
+        Set by :meth:`suggest` and cleared by :meth:`observe`; the arrays
+        are the pool indices and their encoded rows.
+        """
+        if self._awaiting is None:
+            return None
+        return self._awaiting[1], self._awaiting[2]
+
+    def suggest(self, n: "int | None" = None) -> np.ndarray:
+        """Pick the next batch to measure; returns its global pool indices.
+
+        The first call performs the cold start (Algorithm 1 line 1): a
+        random draw of ``config.n_init`` configurations (or the caller's
+        ``cold_start_indices``).  Subsequent calls run the strategy's
+        selection (line 6) with the live surrogate.  ``n`` overrides
+        ``config.n_batch`` for this one batch (clamped to the remaining
+        budget; ignored for the cold start, whose size is ``n_init``).
+
+        Calling :meth:`suggest` again before :meth:`observe` returns the
+        *same* outstanding batch without consuming any randomness — the
+        idempotence the tuning service's crash-safe suggest/report
+        protocol relies on.  Raises :class:`RuntimeError` once the budget
+        is exhausted (:attr:`done`).
+        """
+        if self._awaiting is not None:
+            return self._awaiting[1]
+        if self.done:
+            raise RuntimeError(
+                f"budget exhausted: {len(self.y_train)} of "
+                f"{self.config.n_max} labels collected"
+            )
+        cfg = self.config
+        if self.model is None:
+            # Cold start (lines 1-4): random initial sample, unless the
+            # caller provided transfer-seeded indices.
+            if self.cold_start_indices is not None:
+                init_idx = np.asarray(self.cold_start_indices, dtype=np.intp)
+                if len(init_idx) != cfg.n_init:
+                    raise ValueError(
+                        f"cold_start_indices has {len(init_idx)} entries, "
+                        f"config.n_init is {cfg.n_init}"
+                    )
+            else:
+                init_idx = self.rng.choice(
+                    self.pool.available_indices(), size=cfg.n_init, replace=False
+                )
+            X0 = self.pool.take(init_idx)
+            self._awaiting = ("cold", init_idx, X0, None, None)
+            return init_idx
+        if n is not None and n < 1:
+            raise ValueError(f"suggest(n) requires n >= 1, got {n}")
+        n_batch = min(n if n is not None else cfg.n_batch,
+                      cfg.n_max - len(self.y_train))
+        model_arg = self.model if self.strategy.requires_model else None
+        with span("learner.select", n_batch=n_batch, iteration=self._iteration):
+            batch_idx = np.asarray(
+                self.strategy.select(model_arg, self.pool, n_batch, self.rng)
+            )
+            Xb = self.pool.take(batch_idx)
+            # Selection-time model view of the batch (what Fig. 9 plots).
+            # Score-based strategies stash the (mu, sigma) they just
+            # ranked; reuse those instead of re-predicting the batch
+            # (bit-identical — they are the same floats).  Model-free or
+            # filter strategies stash nothing: fresh prediction.
+            stats = consume_selection_stats(self.strategy, batch_idx)
+            if stats is None:
+                mu_b, sigma_b = self.model.predict_with_uncertainty(Xb)
+            else:
+                mu_b, sigma_b = stats
+        counters.inc("learner.selections", n_batch)
+        self._awaiting = ("step", batch_idx, Xb, mu_b, sigma_b)
+        return batch_idx
+
+    def observe(
+        self, y: np.ndarray, indices: "np.ndarray | None" = None
+    ) -> None:
+        """Feed back measured labels for the batch :meth:`suggest` issued.
+
+        ``y`` holds one label per suggested configuration, in suggestion
+        order.  ``indices`` optionally re-states the batch's pool indices
+        as a consistency check (a mismatch raises — the guard the service
+        uses against out-of-order reports).  Updates the training set,
+        refits the surrogate, and appends an evaluation record per the
+        ``eval_every`` cadence.
+        """
+        if self._awaiting is None:
+            raise RuntimeError("observe() without a pending suggest()")
+        phase, batch_idx, Xb, mu_b, sigma_b = self._awaiting
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (len(Xb),):
+            raise RuntimeError(
+                f"oracle returned {y.shape} labels for {len(Xb)} configs"
+            )
+        if indices is not None:
+            stated = np.asarray(indices, dtype=np.intp)
+            if stated.shape != batch_idx.shape or not (
+                stated == np.asarray(batch_idx, dtype=np.intp)
+            ).all():
+                raise ValueError(
+                    f"observe() indices {stated.tolist()} do not match the "
+                    f"pending suggestion {np.asarray(batch_idx).tolist()}"
+                )
+        self._awaiting = None
+        if phase == "cold":
+            self.X_train = np.asarray(Xb, dtype=np.float64).copy()
+            self.y_train = y
+            self._refit(Xb, y)
+            self._pending_selected.extend(int(i) for i in batch_idx)
+            self._record()
+            return
+        self.X_train = np.vstack([self.X_train, Xb])
+        self.y_train = np.concatenate([self.y_train, y])
+        self._refit(Xb, y)
+        self._pending_selected.extend(int(i) for i in batch_idx)
+        self._pending_mu.extend(float(m) for m in mu_b)
+        self._pending_sigma.extend(float(s) for s in sigma_b)
+        self._iteration += 1
+        is_last = len(self.y_train) >= self.config.n_max
+        if self._iteration % self.config.eval_every == 0 or is_last:
+            self._record()
+
     # -- the loop --------------------------------------------------------------
     def run(self) -> LearningHistory:
-        """Execute Algorithm 1 to completion and return the trace."""
-        cfg = self.config
-        # Cold start (lines 1-4): random initial sample, unless the caller
-        # provided transfer-seeded indices.
-        if self.cold_start_indices is not None:
-            init_idx = np.asarray(self.cold_start_indices, dtype=np.intp)
-            if len(init_idx) != cfg.n_init:
-                raise ValueError(
-                    f"cold_start_indices has {len(init_idx)} entries, "
-                    f"config.n_init is {cfg.n_init}"
-                )
-        else:
-            init_idx = self.rng.choice(
-                self.pool.available_indices(), size=cfg.n_init, replace=False
-            )
-        X0 = self.pool.take(init_idx)
-        y0 = self._evaluate(X0)
-        self.X_train = np.asarray(X0, dtype=np.float64).copy()
-        self.y_train = y0
-        self._refit(X0, y0)
-        self._pending_selected.extend(int(i) for i in init_idx)
-        self._record()
+        """Execute Algorithm 1 to completion and return the trace.
 
-        # Iteration phase (lines 5-9).
-        iteration = 0
-        while len(self.y_train) < cfg.n_max:
-            n_batch = min(cfg.n_batch, cfg.n_max - len(self.y_train))
-            model_arg = self.model if self.strategy.requires_model else None
-            with span("learner.select", n_batch=n_batch, iteration=iteration):
-                batch_idx = np.asarray(
-                    self.strategy.select(model_arg, self.pool, n_batch, self.rng)
-                )
-                Xb = self.pool.take(batch_idx)
-                # Selection-time model view of the batch (what Fig. 9 plots).
-                # Score-based strategies stash the (mu, sigma) they just
-                # ranked; reuse those instead of re-predicting the batch
-                # (bit-identical — they are the same floats).  Model-free or
-                # filter strategies stash nothing: fresh prediction.
-                stats = consume_selection_stats(self.strategy, batch_idx)
-                if stats is None:
-                    mu_b, sigma_b = self.model.predict_with_uncertainty(Xb)
-                else:
-                    mu_b, sigma_b = stats
-            counters.inc("learner.selections", n_batch)
-            yb = self._evaluate(Xb)
-            if yb.shape != (len(Xb),):
-                raise RuntimeError(
-                    f"oracle returned {yb.shape} labels for {len(Xb)} configs"
-                )
-            self.X_train = np.vstack([self.X_train, Xb])
-            self.y_train = np.concatenate([self.y_train, yb])
-            self._refit(Xb, yb)
-            self._pending_selected.extend(int(i) for i in batch_idx)
-            self._pending_mu.extend(float(m) for m in mu_b)
-            self._pending_sigma.extend(float(s) for s in sigma_b)
-
-            iteration += 1
-            is_last = len(self.y_train) >= cfg.n_max
-            if iteration % cfg.eval_every == 0 or is_last:
-                self._record()
+        A loop over :meth:`suggest` / :meth:`observe` with the labeling
+        oracle in between — bit-identical to the historical monolithic
+        implementation.
+        """
+        while not self.done:
+            self.suggest()
+            _, Xb = self.pending
+            self.observe(self._evaluate(Xb))
         return self.history

@@ -2,9 +2,10 @@
 
 The default configuration encodes the repo's reproducibility contract:
 which files are the *blessed homes* of otherwise-forbidden constructs
-(``rng.py`` for RNG construction, ``engine/context.py`` and
-``forest/_cgrower.py`` for environment reads, ``engine/store.py`` for
-raw file writes, the telemetry/progress modules for wall clocks) and
+(``rng.py`` for RNG construction, ``engine/context.py``,
+``forest/_cgrower.py`` and ``service/config.py`` for environment reads,
+``engine/store.py`` for raw file writes, the telemetry/progress modules
+for wall clocks) and
 which trees are harness code where a rule does not apply (tests and
 benchmarks may read clocks and environment variables; tests may write
 scratch files and use free-form telemetry names).
@@ -125,6 +126,7 @@ def default_config() -> LintConfig:
                 allow_paths=(
                     "*/repro/engine/context.py",
                     "*/repro/forest/_cgrower.py",
+                    "*/repro/service/config.py",
                     *harness,
                 )
             ),

@@ -9,6 +9,8 @@ run.  They are thin wrappers over :mod:`repro.experiments.runner`; every
 capability there (custom scales, α sweeps, engine overrides) is reachable
 from here, and strategy names resolve exclusively through the registry in
 :mod:`repro.sampling` (unknown names fail fast with a did-you-mean).
+:func:`serve` and :func:`connect` are the facade over the tuning service
+(:mod:`repro.service`): a sessioned suggest/report daemon and its client.
 
 >>> import repro.api
 >>> result = repro.api.run("atax", "pwu", seed=0, budget=60)
@@ -28,7 +30,7 @@ from repro.experiments.config import SCALES, ExperimentScale
 from repro.experiments.runner import DEFAULT_ALPHAS, comparison_traces, strategy_trace
 from repro.sampling import get_strategy
 
-__all__ = ["RunResult", "CompareResult", "run", "compare"]
+__all__ = ["RunResult", "CompareResult", "run", "compare", "serve", "connect"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -272,3 +274,39 @@ def compare(
         metrics={name: _trace_metrics(t) for name, t in traces.items()},
         trace_path=trace_path,
     )
+
+
+def serve(
+    host: "str | None" = None,
+    port: "int | None" = None,
+    data_dir: "str | None" = None,
+) -> int:
+    """Run the tuning-service daemon (blocking); see :mod:`repro.service`.
+
+    Arguments default to the ``REPRO_SERVICE_*`` environment bindings.
+    Equivalent to ``repro serve``; returns the process exit code.
+    """
+    from repro.service import serve as _serve
+    from repro.service import service_from_env
+
+    base = service_from_env()
+    return _serve(
+        dataclasses.replace(
+            base,
+            host=host if host is not None else base.host,
+            port=port if port is not None else base.port,
+            data_dir=data_dir if data_dir is not None else base.data_dir,
+        )
+    )
+
+
+def connect(base_url: str, timeout: float = 60.0):
+    """A :class:`repro.service.Client` for a running tuning daemon.
+
+    >>> client = repro.api.connect("http://127.0.0.1:8642")  # doctest: +SKIP
+    >>> client.healthz()["status"]                           # doctest: +SKIP
+    'ok'
+    """
+    from repro.service import Client
+
+    return Client(base_url, timeout=timeout)

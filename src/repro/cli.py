@@ -14,6 +14,7 @@ Examples
     repro fig6 --trace                 # + JSONL telemetry trace & summary
     repro trace summarize trace-*.jsonl
     repro lint --format json           # static reproducibility lint
+    repro serve --port 8642 --data-dir /var/lib/repro   # tuning service
 
 Scales: ``paper`` (the full Section III-D protocol), ``quick`` (default;
 minutes on one core), ``smoke`` (seconds, CI-sized).
@@ -88,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="suppress engine telemetry on stderr",
         )
         p.add_argument(
+            "--progress",
+            action="store_true",
+            help="force per-update progress lines even when stderr is not "
+            "a TTY (non-TTY runs print only the final summary by default)",
+        )
+        p.add_argument(
             "--max-retries",
             type=int,
             default=None,
@@ -119,6 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list benchmarks and strategies")
     sub.add_parser("tables", help="print Tables I-IV")
+
+    ps = sub.add_parser(
+        "serve",
+        help="run the tuning service daemon (JSON-over-HTTP suggest/report)",
+    )
+    ps.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: $REPRO_SERVICE_HOST or 127.0.0.1)",
+    )
+    ps.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port, 0 for ephemeral (default: $REPRO_SERVICE_PORT or 8642)",
+    )
+    ps.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="session journal directory (default: $REPRO_SERVICE_DATA_DIR "
+        "or ./repro-service); open sessions found there are resumed",
+    )
 
     from repro.analysis.cli import configure_parser as configure_lint
 
@@ -182,6 +212,23 @@ def main(argv: "list[str] | None" = None) -> int:
 
         return run_from_args(args)
 
+    if args.command == "serve":
+        import dataclasses as _dc
+
+        from repro.service import serve, service_from_env
+
+        base = service_from_env()
+        return serve(
+            _dc.replace(
+                base,
+                host=args.host if args.host is not None else base.host,
+                port=args.port if args.port is not None else base.port,
+                data_dir=(
+                    args.data_dir if args.data_dir is not None else base.data_dir
+                ),
+            )
+        )
+
     # Deferred imports keep `repro list --help` fast.
     from repro.experiments import figures
 
@@ -216,6 +263,7 @@ def main(argv: "list[str] | None" = None) -> int:
         jobs=args.jobs if args.jobs is not None else base.jobs,
         cache_dir=args.cache_dir if args.cache_dir is not None else base.cache_dir,
         progress=base.progress and not args.no_progress,
+        progress_force=base.progress_force or args.progress,
         max_retries=(
             args.max_retries if args.max_retries is not None else base.max_retries
         ),

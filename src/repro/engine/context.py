@@ -44,6 +44,9 @@ class EngineConfig:
     jobs: int = 1
     cache_dir: "str | None" = None
     progress: bool = True
+    #: Emit per-update progress lines even on a non-TTY stderr (by default
+    #: non-TTY runs print only the final summary; see engine/progress.py).
+    progress_force: bool = False
     max_retries: int = 2
     job_timeout: "float | None" = None
     retry_backoff: float = 0.1
@@ -76,14 +79,17 @@ def engine_from_env() -> EngineConfig:
 
     ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_PROGRESS`` configure
     scheduling and persistence (``REPRO_PROGRESS=0`` silences stderr
-    telemetry); ``REPRO_MAX_RETRIES`` / ``REPRO_JOB_TIMEOUT`` /
+    telemetry; ``REPRO_PROGRESS=force`` emits per-update lines even when
+    stderr is not a TTY); ``REPRO_MAX_RETRIES`` / ``REPRO_JOB_TIMEOUT`` /
     ``REPRO_RETRY_BACKOFF`` configure fault tolerance; ``REPRO_FAULTS``
     injects deterministic chaos faults (see :mod:`repro.engine.faults`).
     Unset variables fall back to the dataclass defaults.
     """
     jobs = int(os.environ.get("REPRO_JOBS", "1"))
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    progress = os.environ.get("REPRO_PROGRESS", "1") != "0"
+    progress_raw = os.environ.get("REPRO_PROGRESS", "1")
+    progress = progress_raw != "0"
+    progress_force = progress_raw == "force"
     max_retries = int(os.environ.get("REPRO_MAX_RETRIES", "2"))
     timeout_raw = os.environ.get("REPRO_JOB_TIMEOUT") or None
     job_timeout = float(timeout_raw) if timeout_raw else None
@@ -93,6 +99,7 @@ def engine_from_env() -> EngineConfig:
         jobs=jobs,
         cache_dir=cache_dir,
         progress=progress,
+        progress_force=progress_force,
         max_retries=max_retries,
         job_timeout=job_timeout,
         retry_backoff=retry_backoff,

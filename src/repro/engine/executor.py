@@ -66,7 +66,7 @@ from repro.engine.progress import EngineStats, ProgressReporter
 from repro.engine.store import ResultStore
 from repro.telemetry.sink import run_id_for_keys
 
-__all__ = ["run_jobs", "execute_job", "JobTimeout"]
+__all__ = ["run_jobs", "execute_job", "JobTimeout", "backoff_seconds"]
 
 #: Per-process cache of prepared (benchmark, pool, X_test, y_test) tuples.
 #: Small and LRU-bounded: entries hold the pool matrix and measured test
@@ -193,7 +193,7 @@ def _with_timeout(fn, seconds: "float | None"):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _backoff_seconds(key: str, attempt: int, base: float) -> float:
+def backoff_seconds(key: str, attempt: int, base: float) -> float:
     """Deterministic exponential backoff with per-job jitter.
 
     ``attempt`` is 1-based (the attempt about to run).  The jitter factor
@@ -331,7 +331,7 @@ def _run_serial(
                 telemetry.inc("engine.jobs.retried")
                 reporter.job_retried(f"{job.describe()} ({outcome})")
                 time.sleep(
-                    _backoff_seconds(key, attempt, config.retry_backoff)
+                    backoff_seconds(key, attempt, config.retry_backoff)
                 )
                 continue
             telemetry.inc("engine.jobs.failed")
@@ -374,7 +374,7 @@ def _run_parallel(
         if attempt < config.max_retries:
             telemetry.inc("engine.jobs.retried")
             reporter.job_retried(f"{job.describe()} ({why})")
-            delay = _backoff_seconds(key, attempt + 1, config.retry_backoff)
+            delay = backoff_seconds(key, attempt + 1, config.retry_backoff)
             # repro: allow[DET002] retry-backoff scheduling clock; results are key-derived regardless of timing
             deferred.append((time.monotonic() + delay, key, job, attempt + 1))
         else:
@@ -567,7 +567,11 @@ def run_jobs(
     store = ResultStore(config.cache_dir) if config.cache_dir else None
     own_reporter = reporter is None
     if own_reporter:
-        reporter = ProgressReporter(total=len(unique), enabled=config.progress)
+        reporter = ProgressReporter(
+            total=len(unique),
+            enabled=config.progress,
+            force=config.progress_force,
+        )
 
     results: "dict[str, TrialResult]" = {}
     try:

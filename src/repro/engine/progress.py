@@ -15,8 +15,12 @@ acceptance signal for resume and fault-tolerance semantics.
 On a TTY the status line is transient: updates redraw in place with a
 carriage return and the line is erased-and-finalised by :meth:`close`,
 which runs on the engine's ``finally`` path — so a Ctrl-C mid-run cannot
-leave a half-drawn status line under the user's prompt.  Non-TTY streams
-(CI logs, pytest capture) get plain full lines, one per update.
+leave a half-drawn status line under the user's prompt.  When the stream
+is *not* a TTY (CI logs, daemon stderr, pytest capture) the per-update
+lines are suppressed entirely — a long-running daemon must not flood its
+log with redraw spam — and only the final summary prints.  Pass
+``force=True`` (CLI ``--progress``, ``REPRO_PROGRESS=force``) to restore
+plain full per-update lines on a non-TTY stream.
 
 The lifecycle events also feed the unified metric namespace in
 :mod:`repro.telemetry.counters` (``engine.jobs.executed``,
@@ -66,6 +70,9 @@ class ProgressReporter:
     stream: object = None
     #: Minimum seconds between status lines (the summary is never throttled).
     min_interval: float = 0.5
+    #: Emit per-update lines even when the stream is not a TTY (daemon and
+    #: CI logs stay summary-only by default).
+    force: bool = False
 
     done: int = field(default=0, init=False)
     cached: int = field(default=0, init=False)
@@ -161,6 +168,10 @@ class ProgressReporter:
 
     def _emit(self, note: "str | None" = None, force: bool = False) -> None:
         if not self.enabled or self._closed:
+            return
+        if not self._tty and not self.force:
+            # Non-TTY without --progress: intermediate updates are noise
+            # in daemon/CI logs; the close() summary still prints.
             return
         now = time.monotonic()
         if not force and now - self._last_emit < self.min_interval:

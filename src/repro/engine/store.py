@@ -46,6 +46,9 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "JOURNAL_NAME",
     "atomic_write_text",
+    "append_jsonl",
+    "iter_jsonl",
+    "replace_jsonl",
 ]
 
 #: Version of the artifact payload; mismatched entries are ignored (cache
@@ -101,6 +104,97 @@ def atomic_write_text(path: "str | os.PathLike", text: str) -> None:
     _fsync_dir(directory)
 
 
+def append_jsonl(path: "str | os.PathLike", payload: dict) -> "tuple[int, int]":
+    """Durably append one JSON payload line; returns its ``(offset, length)``.
+
+    The blessed journal-append primitive shared by the engine's
+    :class:`ResultStore` and the service layer's per-session journals:
+    one compact JSON document per line, committed by ``flush`` +
+    ``os.fsync`` before the call returns.  A ``kill -9`` mid-append can
+    only produce a torn *last* line, which :func:`iter_jsonl` detects
+    and drops — a previously committed line is never lost.
+    """
+    target = Path(path)
+    line = (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+    created = not target.exists()
+    with open(target, "ab") as fh:
+        offset = fh.tell()
+        fh.write(line)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if created:
+        _fsync_dir(target.parent if str(target.parent) else Path("."))
+    return offset, len(line)
+
+
+def iter_jsonl(path: "str | os.PathLike"):
+    """Replay a journal written by :func:`append_jsonl`, tolerating damage.
+
+    Yields ``(offset, length, payload_or_None)`` per line: ``None`` marks
+    a corrupt (but newline-terminated) line the caller should count and
+    skip.  A torn tail — the final line missing its newline, the
+    signature of a mid-append kill — terminates the iteration silently:
+    by the append protocol that line was never acknowledged as committed.
+    A missing file yields nothing.
+    """
+    try:
+        fh = open(Path(path), "rb")
+    except OSError:
+        return
+    with fh:
+        offset = 0
+        for raw in fh:
+            length = len(raw)
+            line_offset = offset
+            offset += length
+            if not raw.endswith(b"\n"):
+                counters.inc("engine.store.torn_tail_dropped")
+                return
+            try:
+                payload = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                counters.inc("engine.store.corrupt_lines")
+                payload = None
+            yield line_offset, length, payload
+
+
+def replace_jsonl(path: "str | os.PathLike", payloads) -> "list[tuple[int, int]]":
+    """Crash-safely rewrite a journal with exactly ``payloads``, in order.
+
+    The compaction primitive: the new journal is staged in a sibling temp
+    file that is flushed and fsynced *before* ``os.replace`` publishes it,
+    then the directory entry is fsynced — so a reader observes either the
+    old journal or the complete new one, never a torn in-between.  Returns
+    the ``(offset, length)`` locator of each written line.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".jsonl")
+    locators: "list[tuple[int, int]]" = []
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            for payload in payloads:
+                line = (
+                    json.dumps(payload, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                ).encode("utf-8")
+                locators.append((fh.tell(), len(line)))
+                fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # repro: allow[EXC001] best-effort temp cleanup; the original error re-raises
+            pass
+        raise
+    _fsync_dir(directory)
+    return locators
+
+
 class ResultStore:
     """A journaled directory of trace artifacts, keyed by job hash."""
 
@@ -129,32 +223,20 @@ class ResultStore:
         """
         self._index.clear()
         self._dead_lines = 0
-        try:
-            fh = open(self.journal_path, "rb")
-        except OSError:
-            return
-        with fh:
-            offset = 0
-            for raw in fh:
-                length = len(raw)
-                line_offset = offset
-                offset += length
-                if not raw.endswith(b"\n"):
-                    # Torn tail: the append never completed.  Committed
-                    # writes always fsync a full line, so this entry was
-                    # never acknowledged — drop it.
-                    counters.inc("engine.store.torn_tail_dropped")
-                    break
-                try:
-                    payload = json.loads(raw)
-                    key = payload["key"]
-                except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+        for line_offset, length, payload in iter_jsonl(self.journal_path):
+            try:
+                key = (payload or {})["key"]
+            except (KeyError, TypeError):
+                if payload is not None:
+                    # Parsable JSON without a key is corrupt for this
+                    # store's schema (iter_jsonl already counted raw
+                    # JSON damage as corrupt).
                     counters.inc("engine.store.corrupt_lines")
-                    self._dead_lines += 1
-                    continue
-                if key in self._index:
-                    self._dead_lines += 1
-                self._index[key] = ("journal", line_offset, length)
+                self._dead_lines += 1
+                continue
+            if key in self._index:
+                self._dead_lines += 1
+            self._index[key] = ("journal", line_offset, length)
 
     def _append(self, payload: dict) -> "tuple[int, int]":
         """Durably append one payload line; returns its (offset, length).
@@ -162,18 +244,7 @@ class ResultStore:
         The line is not considered committed until ``flush`` + ``fsync``
         have returned — the invariant the torn-tail replay relies on.
         """
-        line = (
-            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
-        ).encode("utf-8")
-        created = not self.journal_path.exists()
-        with open(self.journal_path, "ab") as fh:
-            offset = fh.tell()
-            fh.write(line)
-            fh.flush()
-            os.fsync(fh.fileno())
-        if created:
-            _fsync_dir(self.root)
-        return offset, len(line)
+        return append_jsonl(self.journal_path, payload)
 
     def _read_at(self, offset: int, length: int) -> "dict | None":
         try:
@@ -279,37 +350,20 @@ class ResultStore:
         rename ordering that guarantees the visible journal is always
         complete — and the directory entry is fsynced after.
         """
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=".jsonl"
-        )
+        live: "list[tuple[str, dict]]" = []
         new_index: "dict[str, tuple]" = {}
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                for key, locator in self._index.items():
-                    if locator[0] == "journal":
-                        payload = self._read_at(locator[1], locator[2])
-                        if payload is None:
-                            continue
-                        line = (
-                            json.dumps(
-                                payload, sort_keys=True, separators=(",", ":")
-                            )
-                            + "\n"
-                        ).encode("utf-8")
-                        new_index[key] = ("journal", fh.tell(), len(line))
-                        fh.write(line)
-                    else:
-                        new_index[key] = locator
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.journal_path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:  # repro: allow[EXC001] best-effort temp cleanup; the original error re-raises
-                pass
-            raise
-        _fsync_dir(self.root)
+        for key, locator in self._index.items():
+            if locator[0] == "journal":
+                payload = self._read_at(locator[1], locator[2])
+                if payload is not None:
+                    live.append((key, payload))
+            else:
+                new_index[key] = locator
+        locators = replace_jsonl(
+            self.journal_path, (payload for _, payload in live)
+        )
+        for (key, _), (offset, length) in zip(live, locators):
+            new_index[key] = ("journal", offset, length)
         self._index = new_index
         self._dead_lines = 0
         counters.inc("engine.store.compactions")

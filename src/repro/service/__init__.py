@@ -1,0 +1,66 @@
+"""repro.service — tuning-as-a-service: a sessioned suggest/report daemon.
+
+The paper's active-learning loop (sample → evaluate → refit → resample by
+PWU) is inherently interactive; this package serves it over a versioned
+JSON-over-HTTP wire protocol so many concurrent clients can run tuning
+*sessions* against one long-lived daemon:
+
+``POST /v1/sessions``
+    open a session (benchmark + strategy + budget + seed, client- or
+    server-evaluated);
+``POST /v1/sessions/{id}/suggest``
+    next configuration(s) from the live surrogate via the session's
+    strategy (PWU by default);
+``POST /v1/sessions/{id}/report``
+    feed a client-measured result back into
+    :meth:`~repro.active.ActiveLearner.observe`;
+``GET /v1/sessions/{id}``
+    progress snapshot; ``GET /v1/sessions/{id}/model`` the serialized
+    :class:`~repro.forest.packed.PackedForest` (format v2).
+
+Every session owns a crash-safe journal directory built on the engine
+store's fsync'd append discipline (:mod:`repro.engine.store`), so a
+killed daemon restarts with zero lost trials and resumes open sessions
+on boot.  Sessions are deterministic: the learner's randomness derives
+from the session spec alone, so a served session is bit-identical to the
+equivalent offline :func:`repro.service.session.offline_reference` run —
+and survives any kill/restart sequence unchanged.
+
+Layers: :mod:`~repro.service.protocol` (wire schema v1),
+:mod:`~repro.service.session` (one live learner + journal),
+:mod:`~repro.service.registry` (session index + manifest),
+:mod:`~repro.service.app` (route table, transport-free),
+:mod:`~repro.service.daemon` (stdlib ``ThreadingHTTPServer``),
+:mod:`~repro.service.client` (typed client), and
+:mod:`~repro.service.config` (env-derived daemon settings).
+"""
+
+from repro.service.client import Client, ServiceError
+from repro.service.config import ServiceConfig, service_from_env
+from repro.service.daemon import TuningServer, serve
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SERVICE_SCHEMA,
+    ProtocolError,
+    SessionSpec,
+    envelope,
+)
+from repro.service.registry import SessionRegistry
+from repro.service.session import Session, offline_reference
+
+__all__ = [
+    "Client",
+    "ServiceError",
+    "ServiceConfig",
+    "service_from_env",
+    "TuningServer",
+    "serve",
+    "PROTOCOL_VERSION",
+    "SERVICE_SCHEMA",
+    "ProtocolError",
+    "SessionSpec",
+    "envelope",
+    "SessionRegistry",
+    "Session",
+    "offline_reference",
+]

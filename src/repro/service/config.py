@@ -1,0 +1,54 @@
+"""Daemon settings and their environment bindings (the DET004 blessed home).
+
+:class:`ServiceConfig` carries the three knobs a deployment needs —
+bind host, port, and the data directory that holds the session journals.
+:func:`service_from_env` reads the ``REPRO_SERVICE_HOST`` /
+``REPRO_SERVICE_PORT`` / ``REPRO_SERVICE_DATA_DIR`` environment
+variables; this module is the *only* place the service tree touches
+``os.environ`` (it is allowlisted for the DET004 lint rule), so ambient
+configuration stays auditable in one spot.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ServiceConfig", "service_from_env"]
+
+#: Default bind address: loopback only — the protocol has no auth layer.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Where the daemon listens and where it journals its sessions.
+
+    ``port=0`` asks the OS for an ephemeral port (the bound port is
+    reported by the server object and the startup line).  ``data_dir``
+    of ``None`` means a ``repro-service`` directory under the current
+    working directory.
+    """
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    data_dir: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+
+    def resolved_data_dir(self) -> str:
+        """The effective data directory (defaulting under the cwd)."""
+        return self.data_dir if self.data_dir else os.path.join(
+            os.getcwd(), "repro-service"
+        )
+
+
+def service_from_env() -> ServiceConfig:
+    """Service settings from ``REPRO_SERVICE_*`` (unset → defaults)."""
+    host = os.environ.get("REPRO_SERVICE_HOST", DEFAULT_HOST)
+    port = int(os.environ.get("REPRO_SERVICE_PORT", str(DEFAULT_PORT)))
+    data_dir = os.environ.get("REPRO_SERVICE_DATA_DIR") or None
+    return ServiceConfig(host=host, port=port, data_dir=data_dir)

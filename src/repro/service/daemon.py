@@ -1,0 +1,148 @@
+"""The HTTP face of the service: a stdlib ThreadingHTTPServer adapter.
+
+:class:`TuningServer` binds a :class:`~repro.service.app.ServiceApp`
+(and the registry it resumes from the data directory) to a
+``http.server.ThreadingHTTPServer`` — one thread per in-flight request,
+which the per-session locks were built for.  No web framework: the
+handler reads ``Content-Length`` bytes, hands ``(method, path, body)``
+to the app, and writes back whatever status/headers/body it returns.
+
+:func:`serve` is the blocking entry point behind ``repro serve``: it
+prints a greppable startup line, runs until ``SIGTERM``/``SIGINT``, then
+stops accepting, signals the server-mode driver threads, and prints
+``[service] shutdown clean`` — the line the CI smoke job asserts on.
+Because every mutation is journaled before it is acknowledged, a
+*non*-clean death (kill -9) is also safe: the next boot replays the
+journals (see :mod:`repro.service.registry`).
+
+For tests, :meth:`TuningServer.start` runs ``serve_forever`` on a
+background thread and returns, and ``port=0`` binds an ephemeral port
+reported by :attr:`TuningServer.address`.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.app import ServiceApp
+from repro.service.config import ServiceConfig
+from repro.service.registry import SessionRegistry
+
+__all__ = ["TuningServer", "serve"]
+
+#: Largest request body the daemon will read (a report for a big batch
+#: is a few kilobytes; a megabyte of headroom is generous).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Minimal request adapter; all logic lives in the ServiceApp."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self.send_error(413, "request body too large")
+            return
+        body = self.rfile.read(length) if length else b""
+        status, headers, payload = self.server.app.handle(
+            self.command, self.path, body
+        )
+        self.send_response(status)
+        for name in sorted(headers):
+            self.send_header(name, headers[name])
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server's naming
+        """Serve a GET route via the app."""
+        self._dispatch()
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server's naming
+        """Serve a POST route via the app."""
+        self._dispatch()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Per-request stderr logging is noise for a daemon; stay quiet."""
+
+
+class TuningServer(ThreadingHTTPServer):
+    """The bound server: registry + app + the listening socket."""
+
+    daemon_threads = True
+
+    def __init__(self, config: "ServiceConfig | None" = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = SessionRegistry(self.config.resolved_data_dir())
+        self.app = ServiceApp(self.registry)
+        super().__init__((self.config.host, self.config.port), _Handler)
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The actually-bound ``(host, port)`` (resolves ``port=0``)."""
+        return self.server_address[0], self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (http, no trailing slash)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "TuningServer":
+        """Serve on a background thread (test harness entry); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, join the serve thread, stop session drivers."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.registry.shutdown()
+        self.server_close()
+
+
+def serve(config: "ServiceConfig | None" = None) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns a process exit code.
+
+    The ``repro serve`` entry point.  Prints one startup line and one
+    ``[service] shutdown clean`` line to stderr (both greppable — the CI
+    smoke job asserts on them).
+    """
+    server = TuningServer(config)
+    host, port = server.address
+    print(
+        f"[service] listening on http://{host}:{port} "
+        f"(data_dir={server.config.resolved_data_dir()}, "
+        f"sessions={len(server.registry)})",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    def _stop(signum, frame) -> None:
+        # shutdown() must not run on the serving thread; hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _stop)
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in sorted(previous.items()):
+            signal.signal(sig, handler)
+        server.registry.shutdown()
+        server.server_close()
+        print("[service] shutdown clean", file=sys.stderr, flush=True)
+    return 0

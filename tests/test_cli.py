@@ -21,6 +21,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig2", "--scale", "galactic"])
 
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--data-dir", "/tmp/x"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0 and args.data_dir == "/tmp/x"
+        assert args.host is None  # defers to $REPRO_SERVICE_HOST
+
+    def test_progress_force_flag(self):
+        args = build_parser().parse_args(["fig2", "--progress"])
+        assert args.progress is True
+
 
 class TestCommands:
     def test_list(self, capsys):

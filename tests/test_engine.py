@@ -320,6 +320,11 @@ class TestContext:
             monkeypatch.delenv(var, raising=False)
         assert engine_from_env() == EngineConfig()
 
+    def test_env_progress_force(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "force")
+        cfg = engine_from_env()
+        assert cfg.progress and cfg.progress_force
+
     def test_use_engine_scoping(self):
         inner = _quiet(jobs=2)
         with use_engine(inner):
@@ -354,6 +359,56 @@ class TestProgressTelemetry:
         rep.job_finished()
         rep.close()
         assert capsys.readouterr().err == ""
+
+    def test_non_tty_suppresses_intermediate_lines(self):
+        """Daemon/CI logs get the summary only, not per-update spam."""
+        import io
+
+        from repro.engine import ProgressReporter
+
+        stream = io.StringIO()  # not a TTY
+        rep = ProgressReporter(total=2, stream=stream, min_interval=0.0)
+        rep.job_started("a")
+        rep.job_finished("a")
+        rep.job_started("b")
+        rep.job_finished("b")
+        assert stream.getvalue() == ""
+        rep.close()
+        out = stream.getvalue()
+        assert out.count("\n") == 1  # exactly the summary line
+        assert "executed 2" in out
+
+    def test_force_restores_per_update_lines_on_non_tty(self):
+        import io
+
+        from repro.engine import ProgressReporter
+
+        stream = io.StringIO()
+        rep = ProgressReporter(
+            total=1, stream=stream, min_interval=0.0, force=True
+        )
+        rep.job_started("a")
+        rep.job_finished("a")
+        assert "1/1 done" in stream.getvalue()
+        rep.close()
+        assert "\r" not in stream.getvalue()  # plain lines, no redraws
+
+    def test_tty_still_redraws_in_place(self):
+        import io
+
+        from repro.engine import ProgressReporter
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        rep = ProgressReporter(total=1, stream=stream, min_interval=0.0)
+        rep.job_started("a")
+        rep.job_finished("a")
+        assert "\r" in stream.getvalue()
+        rep.close()
+        assert stream.getvalue().endswith("jobs/s)\n")
 
     def test_run_jobs_emits_cache_hit_telemetry(self, tmp_path, two_trial_scale, capsys):
         jobs = trial_jobs("mvt", "random", two_trial_scale, seed=0)

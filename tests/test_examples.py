@@ -37,3 +37,10 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "best configuration found" in result.stdout
         assert "#process" in result.stdout
+
+    def test_tuning_service(self):
+        result = _run("tuning_service.py")
+        assert result.returncode == 0, result.stderr
+        assert "opened session" in result.stdout
+        assert "suggest/report rounds" in result.stdout
+        assert "best predicted time" in result.stdout

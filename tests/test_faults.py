@@ -23,7 +23,7 @@ from repro.engine import (
     run_jobs,
     trial_jobs,
 )
-from repro.engine.executor import _backoff_seconds, execute_job
+from repro.engine.executor import backoff_seconds, execute_job
 from repro.engine.faults import (
     FaultRule,
     InjectedFault,
@@ -123,17 +123,17 @@ class TestFaultPlan:
 class TestBackoff:
     def test_deterministic_with_jitter_bounds(self):
         key = "d" * 64
-        assert _backoff_seconds(key, 1, 0.1) == _backoff_seconds(key, 1, 0.1)
+        assert backoff_seconds(key, 1, 0.1) == backoff_seconds(key, 1, 0.1)
         for attempt in (1, 2, 3):
-            delay = _backoff_seconds(key, attempt, 0.1)
+            delay = backoff_seconds(key, attempt, 0.1)
             base = 0.1 * 2 ** (attempt - 1)
             assert 0.5 * base <= delay < 1.5 * base
 
     def test_zero_base_and_cap(self):
         key = "e" * 64
-        assert _backoff_seconds(key, 3, 0.0) == 0.0
-        assert _backoff_seconds(key, 0, 1.0) == 0.0
-        assert _backoff_seconds(key, 40, 10.0) <= 30.0
+        assert backoff_seconds(key, 3, 0.0) == 0.0
+        assert backoff_seconds(key, 0, 1.0) == 0.0
+        assert backoff_seconds(key, 40, 10.0) <= 30.0
 
 
 class TestRetrySemantics:
