@@ -172,10 +172,19 @@ class ActiveLearner:
         counters.inc("learner.refits")
 
     def _evaluate(self, X: np.ndarray) -> np.ndarray:
-        """Query the labeling oracle under the ``learner.evaluate`` span."""
+        """Query the labeling oracle under the ``learner.evaluate`` span.
+
+        The oracle is called exactly once per batch with the whole encoded
+        matrix — the :meth:`~repro.workloads.base.Benchmark.evaluate_batch`
+        contract — never once per configuration, so closed-form benchmarks
+        amortise their vectorised evaluation and noise draw across the
+        batch.  ``learner.batch_rows`` gauges the batch sizes flowing
+        through (``n_init`` for the cold start, ``n_batch`` after).
+        """
         with span("learner.evaluate", n=len(X)):
             y = np.asarray(self.evaluate(X), dtype=np.float64)
         counters.inc("learner.evaluations", len(X))
+        counters.gauge("learner.batch_rows", len(X))
         return y
 
     def _record(self) -> None:

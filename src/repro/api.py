@@ -80,6 +80,7 @@ def _engine_config(
     cache_dir: "str | None",
     max_retries: "int | None" = None,
     job_timeout: "float | None" = None,
+    batch_size: "int | None" = None,
 ) -> EngineConfig:
     config = current_engine()
     if jobs is not None:
@@ -90,6 +91,8 @@ def _engine_config(
         config = dataclasses.replace(config, max_retries=int(max_retries))
     if job_timeout is not None:
         config = dataclasses.replace(config, job_timeout=float(job_timeout))
+    if batch_size is not None:
+        config = dataclasses.replace(config, batch_size=int(batch_size))
     return config
 
 
@@ -159,6 +162,7 @@ def run(
     trace_summary: bool = True,
     max_retries: "int | None" = None,
     job_timeout: "float | None" = None,
+    batch_size: "int | None" = None,
 ) -> RunResult:
     """Run one strategy on one workload and average repeated trials.
 
@@ -190,6 +194,10 @@ def run(
         that exhausts its retries raises
         :class:`repro.engine.EngineJobError` after the batch completes,
         with finished trials preserved in the store.
+    batch_size:
+        Trial jobs dispatched per worker future (0 = automatic sizing,
+        1 = per-trial dispatch; default: the ambient engine
+        configuration).  Results are bit-identical at any value.
     """
     get_strategy(strategy, alpha=alpha)  # fail fast on unknown names
     resolved = _resolve_scale(scale)
@@ -197,7 +205,7 @@ def run(
         resolved = dataclasses.replace(resolved, n_max=int(budget))
     if trials is not None:
         resolved = dataclasses.replace(resolved, n_trials=int(trials))
-    engine = _engine_config(jobs, cache_dir, max_retries, job_timeout)
+    engine = _engine_config(jobs, cache_dir, max_retries, job_timeout, batch_size)
 
     def execute() -> AveragedTrace:
         return strategy_trace(
@@ -237,6 +245,7 @@ def compare(
     trace_summary: bool = True,
     max_retries: "int | None" = None,
     job_timeout: "float | None" = None,
+    batch_size: "int | None" = None,
 ) -> CompareResult:
     """Run several strategies against one shared pool/test split.
 
@@ -252,7 +261,7 @@ def compare(
         resolved = dataclasses.replace(resolved, n_max=int(budget))
     if trials is not None:
         resolved = dataclasses.replace(resolved, n_trials=int(trials))
-    engine = _engine_config(jobs, cache_dir, max_retries, job_timeout)
+    engine = _engine_config(jobs, cache_dir, max_retries, job_timeout, batch_size)
 
     def execute() -> "dict[str, AveragedTrace]":
         return comparison_traces(

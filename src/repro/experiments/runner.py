@@ -101,7 +101,9 @@ def prepare_data(
     perm = rng.permutation(len(X))
     X_pool = X[perm[:pool_size]]
     X_test = X[perm[pool_size:]]
-    y_test = benchmark.measure_encoded(X_test, rng)
+    # One fused batch evaluation labels the whole test set (bit-identical
+    # to the historical measure_encoded call — same single noise draw).
+    y_test = benchmark.evaluate_batch(X_test, rng)
     return DataPool(X_pool), X_test, y_test
 
 
@@ -150,7 +152,7 @@ def run_single(
     pool.reset()
     learner = ActiveLearner(
         pool=pool,
-        evaluate=lambda X: benchmark.measure_encoded(X, rng),
+        evaluate=lambda X: benchmark.evaluate_batch(X, rng),
         X_test=X_test,
         y_test=y_test,
         strategy=strategy,

@@ -48,11 +48,20 @@ class Benchmark(ABC):
         """
 
     # -- measurement -----------------------------------------------------------
-    def measure_encoded(self, X: np.ndarray, rng=None) -> np.ndarray:
-        """Observed (noisy, repeat-averaged) times for encoded configurations.
+    def evaluate_batch(self, X: np.ndarray, rng=None) -> np.ndarray:
+        """Measure a whole batch of encoded configurations in one call.
 
-        This is the ``Evaluate`` step of Algorithm 1; its output is what the
-        surrogate model trains on.
+        This is the batched evaluation contract the engine, the active
+        learner, and the tuning service all route through: shape ``(n, d)``
+        in, observed seconds shape ``(n,)`` out.  One call drives one
+        vectorised :meth:`true_times_encoded` pass plus one noise draw from
+        the measurement protocol — the closed-form cost models underneath
+        are pure numpy, so evaluating a pool-sized batch costs barely more
+        than evaluating one configuration (``benchmarks/perf/bench_engine.py``
+        tracks the ratio).  Calling this once with ``n`` rows is
+        bit-identical to what a single fused call has always produced; it is
+        NOT equivalent to ``n`` single-row calls, which would consume the
+        measurement RNG differently.
         """
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         t = self.true_times_encoded(X)
@@ -66,10 +75,19 @@ class Benchmark(ABC):
             raise RuntimeError(f"{self.name}: non-positive or non-finite true times")
         return self._protocol.observe(t, as_generator(rng))
 
+    def measure_encoded(self, X: np.ndarray, rng=None) -> np.ndarray:
+        """Observed (noisy, repeat-averaged) times for encoded configurations.
+
+        This is the ``Evaluate`` step of Algorithm 1; its output is what the
+        surrogate model trains on.  A thin alias of :meth:`evaluate_batch`
+        kept for callers that think in single measurements.
+        """
+        return self.evaluate_batch(X, rng)
+
     def measure(self, config: Mapping, rng=None) -> float:
         """Measure a single configuration given as a dict."""
         X = self._space.encode(dict(config))
-        return float(self.measure_encoded(X, rng)[0])
+        return float(self.evaluate_batch(X, rng)[0])
 
     def true_time(self, config: Mapping) -> float:
         """Noise-free time of a single configuration dict."""

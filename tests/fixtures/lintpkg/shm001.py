@@ -1,0 +1,38 @@
+"""SHM001 fixture: shared-memory segment created without finally teardown."""
+
+from multiprocessing import shared_memory
+
+
+def leak_segment(nbytes: int) -> str:
+    """Active violation: create site with no enclosing try/finally cleanup."""
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    return segment.name
+
+
+def leak_segment_quietly(nbytes: int) -> str:
+    """Suppressed twin of :func:`leak_segment`."""
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)  # repro: allow[SHM001] fixture twin: seeded-violation test data
+    return segment.name
+
+
+def publish_guarded(nbytes: int) -> str:
+    """Create guarded by a finally that closes and unlinks — must NOT fire."""
+    segment = None
+    published = False
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        published = True
+        return segment.name
+    finally:
+        if segment is not None and not published:
+            segment.close()
+            segment.unlink()
+
+
+def attach_segment(name: str) -> bytes:
+    """Attach site (no create=True) — must NOT fire."""
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:1])
+    finally:
+        segment.close()

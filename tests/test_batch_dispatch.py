@@ -1,0 +1,291 @@
+"""Batched dispatch & shared-memory pools: bit-identity and lifecycle.
+
+The engine's batched hot path (DESIGN.md §2h) must be invisible in the
+results: trial histories are pinned bit-identical across ``--jobs 1/2/4``,
+batch sizes (auto, pinned, per-trial), and a chaos cocktail where crashes
+hit mid-chunk trials.  The shared-memory transport must rebuild prepared
+data bit-identically in workers and leave no segments behind — the parent
+owns every name and unlinks on the engine ``finally`` path.
+"""
+
+import io
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    ProgressReporter,
+    chunk_size,
+    engine_from_env,
+    run_jobs,
+    trial_jobs,
+)
+from repro.engine import executor, shm
+from repro.experiments.config import ExperimentScale
+from repro.telemetry import counters
+
+
+@pytest.fixture
+def two_trial_scale() -> ExperimentScale:
+    """Tiny scale with two trials per strategy — chunks have members."""
+    return ExperimentScale(
+        name="tiny2",
+        pool_size=150,
+        test_size=120,
+        n_init=8,
+        n_batch=1,
+        n_max=16,
+        n_trials=2,
+        eval_every=4,
+        n_estimators=8,
+    )
+
+
+def _cfg(**kw) -> EngineConfig:
+    kw.setdefault("progress", False)
+    kw.setdefault("retry_backoff", 0.01)
+    return EngineConfig(**kw)
+
+
+def _histories(results):
+    return {k: r.history.records for k, r in results.items()}
+
+
+def _batch_jobs(scale):
+    return trial_jobs("mvt", "pwu", scale, seed=0) + trial_jobs(
+        "mvt", "random", scale, seed=0
+    )
+
+
+@pytest.fixture
+def baseline(two_trial_scale):
+    """Serial, fault-free reference histories for the standard 4-job batch."""
+    jobs = _batch_jobs(two_trial_scale)
+    results, _ = run_jobs(jobs, config=_cfg(jobs=1))
+    return jobs, _histories(results)
+
+
+# -- config plumbing ---------------------------------------------------------
+
+
+class TestBatchSizeConfig:
+    def test_default_is_auto(self):
+        assert EngineConfig().batch_size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            EngineConfig(batch_size=-1)
+
+    def test_env_var_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "7")
+        assert engine_from_env().batch_size == 7
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
+        assert engine_from_env().batch_size == 0
+
+
+class TestChunkSizePolicy:
+    def test_pinned_size_wins(self):
+        assert chunk_size(1, 100, 4) == 1
+        assert chunk_size(5, 100, 4) == 5
+
+    def test_auto_small_queue_stays_per_trial(self):
+        assert chunk_size(0, 4, 4) == 1
+        assert chunk_size(0, 2, 8) == 1
+
+    def test_auto_targets_four_chunks_per_worker(self):
+        assert chunk_size(0, 40, 4) == 3  # ceil(40 / 16)
+
+    def test_auto_is_capped(self):
+        assert chunk_size(0, 10_000, 4) == 16
+
+
+# -- bit-identity across jobs × batch size -----------------------------------
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize(
+        "jobs,batch_size",
+        [(2, 0), (2, 1), (2, 2), (4, 3), (4, 0)],
+    )
+    def test_histories_identical_at_any_jobs_and_batch(
+        self, baseline, two_trial_scale, jobs, batch_size
+    ):
+        ref_jobs, ref = baseline
+        results, stats = run_jobs(
+            ref_jobs, config=_cfg(jobs=jobs, batch_size=batch_size)
+        )
+        assert all(r.ok for r in results.values())
+        assert _histories(results) == ref
+        assert stats.executed == len(ref)
+
+    def test_batched_counters_account_for_chunked_trials(
+        self, baseline, two_trial_scale
+    ):
+        ref_jobs, ref = baseline
+        before = counters.value("engine.jobs.batched")
+        results, _ = run_jobs(ref_jobs, config=_cfg(jobs=2, batch_size=2))
+        assert _histories(results) == ref
+        # 4 trials in chunks of 2: every trial travelled batched.
+        assert counters.value("engine.jobs.batched") - before >= len(ref_jobs)
+
+
+# -- chaos: faults must stay per-trial inside a chunk ------------------------
+
+
+class TestBatchedChaos:
+    def test_chaos_cocktail_is_bit_identical_when_batched(
+        self, baseline, two_trial_scale
+    ):
+        ref_jobs, ref = baseline
+        results, stats = run_jobs(
+            ref_jobs,
+            config=_cfg(
+                jobs=2,
+                batch_size=2,
+                faults="exc:0.6:2,slow:0.6:1:0.02",
+                max_retries=3,
+            ),
+        )
+        assert all(r.ok for r in results.values())
+        assert _histories(results) == ref
+
+    def test_mid_chunk_crash_salvages_the_rest_of_the_chunk(
+        self, baseline, two_trial_scale
+    ):
+        """Every trial crashes its worker on first attempt (``crash:1.0``).
+
+        With ``batch_size=3`` the crash always hits a mid-batch trial;
+        chunk-mates lost with the worker are requeued, retried, and must
+        land bit-identical to the fault-free serial run.
+        """
+        ref_jobs, ref = baseline
+        results, stats = run_jobs(
+            ref_jobs,
+            config=_cfg(
+                jobs=2, batch_size=3, faults="crash:1.0", max_retries=2
+            ),
+        )
+        assert all(r.ok for r in results.values())
+        assert _histories(results) == ref
+        assert stats.retried > 0
+
+
+# -- shared-memory transport -------------------------------------------------
+
+
+class TestSharedMemory:
+    def test_attach_rebuilds_prepared_data_bit_identically(
+        self, two_trial_scale
+    ):
+        benchmark, pool, X_test, y_test = executor._prepared(
+            "mvt", two_trial_scale, 0
+        )
+        registry = shm.SegmentRegistry()
+        pkey = ("mvt", two_trial_scale, 0)
+        registry.publish(
+            pkey, {"pool_X": pool.X, "X_test": X_test, "y_test": y_test}
+        )
+        try:
+            shm.install_manifest(registry.manifest)
+            executor._PREPARED.clear()
+            bench2, pool2, X2, y2 = executor._prepared(
+                "mvt", two_trial_scale, 0
+            )
+            assert bench2.name == benchmark.name
+            assert pool2.X is not pool.X
+            np.testing.assert_array_equal(pool2.X, pool.X)
+            np.testing.assert_array_equal(X2, X_test)
+            np.testing.assert_array_equal(y2, y_test)
+        finally:
+            shm.install_manifest(None)
+            executor._PREPARED.clear()
+            registry.unlink_all()
+
+    def test_unlink_all_removes_segments_and_is_idempotent(self):
+        registry = shm.SegmentRegistry()
+        registry.publish(("k",), {"a": np.arange(8.0)})
+        name, _shape, _dtype = registry.manifest[("k",)]["a"]
+        registry.unlink_all()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        registry.unlink_all()  # second teardown is a no-op
+        assert len(registry) == 0
+
+    def test_failed_publish_cleans_up_its_own_segment(self):
+        registry = shm.SegmentRegistry()
+        bad = np.array([object()], dtype=object)
+        with pytest.raises(ValueError, match="object-dtype"):
+            registry.publish(("bad",), {"a": bad})
+        assert len(registry) == 0
+        assert ("bad",) not in registry.manifest
+
+    def test_mid_publish_failure_unlinks_the_partial_segment(
+        self, monkeypatch
+    ):
+        registry = shm.SegmentRegistry()
+        arr = np.arange(4.0)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("copy failed")
+
+        monkeypatch.setattr(shm.np, "ndarray", boom)
+        with pytest.raises(RuntimeError, match="copy failed"):
+            registry.publish(("bad",), {"a": arr})
+        assert len(registry) == 0
+        assert ("bad",) not in registry.manifest
+
+    def test_parallel_run_leaves_no_segments_behind(self, two_trial_scale):
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        before = {p.name for p in shm_dir.iterdir()}
+        jobs = trial_jobs("mvt", "pwu", two_trial_scale, seed=0)
+        results, _ = run_jobs(jobs, config=_cfg(jobs=2, batch_size=2))
+        assert all(r.ok for r in results.values())
+        leaked = {
+            n
+            for n in {p.name for p in shm_dir.iterdir()} - before
+            if n.startswith("psm_")
+        }
+        assert not leaked
+
+
+# -- progress line regression (S1) -------------------------------------------
+
+
+class TestProgressBatchDisplay:
+    def test_line_shows_trials_per_sec_and_batch_size(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=8, enabled=True, stream=stream, force=True, min_interval=0.0
+        )
+        reporter.batch_dispatched(4)
+        reporter.job_started("trial")
+        out = stream.getvalue()
+        assert "trials/s" in out
+        assert "batch=4" in out
+
+    def test_per_trial_dispatch_hides_batch_field(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=2, enabled=True, stream=stream, force=True, min_interval=0.0
+        )
+        reporter.batch_dispatched(1)
+        reporter.job_started("trial")
+        assert "batch=" not in stream.getvalue()
+
+    def test_batch_dispatched_feeds_counters(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=8, enabled=False, stream=stream)
+        before = counters.value("engine.jobs.batched")
+        reporter.batch_dispatched(3)
+        assert counters.gauges_snapshot()["engine.batch.size"] == 3
+        assert counters.value("engine.jobs.batched") - before == 3
+        reporter.batch_dispatched(1)  # per-trial: gauge only
+        assert counters.gauges_snapshot()["engine.batch.size"] == 1
+        assert counters.value("engine.jobs.batched") - before == 3

@@ -40,7 +40,7 @@ def test_fixture_violations_exit_one_with_clickable_lines(capsys):
     out = capsys.readouterr().out.strip().splitlines()
     assert code == 1
     finding_lines = out[:-1]  # last line is the summary
-    assert len(finding_lines) == 8
+    assert len(finding_lines) == 9
     for line in finding_lines:
         assert FINDING_LINE.match(line), line
 
@@ -51,12 +51,12 @@ def test_json_report_matches_schema_and_round_trips(capsys):
     assert code == 1
     assert payload["schema"] == JSON_SCHEMA_VERSION
     assert payload["tool"] == "repro.analysis"
-    assert payload["files_scanned"] == 9
-    assert payload["summary"]["total"] == 8
-    assert payload["summary"]["errors"] == 8
+    assert payload["files_scanned"] == 10
+    assert payload["summary"]["total"] == 9
+    assert payload["summary"]["errors"] == 9
     assert payload["summary"]["warnings"] == 0
     assert set(payload["summary"]["by_rule"]) == set(payload["rules"])
-    assert len(payload["suppressed"]) == 8
+    assert len(payload["suppressed"]) == 9
     for entry in payload["suppressed"]:
         assert entry["reason"]
 

@@ -1,4 +1,4 @@
-"""Per-rule behaviour of the eight reproducibility checkers.
+"""Per-rule behaviour of the nine reproducibility checkers.
 
 Two layers: the seeded-violation fixture package
 (``tests/fixtures/lintpkg`` — one active violation and one suppressed
@@ -21,6 +21,7 @@ RULE_IDS = (
     "DET003",
     "DET004",
     "SPAWN001",
+    "SHM001",
     "TEL001",
     "IO001",
     "EXC001",
@@ -37,7 +38,7 @@ def test_registry_exposes_exactly_the_contract_rules():
 
 
 def test_fixture_package_yields_one_finding_per_rule(fixture_result):
-    """8 seeded violations, 8 findings — nothing extra, nothing missed."""
+    """9 seeded violations, 9 findings — nothing extra, nothing missed."""
     fired = sorted(f.rule for f in fixture_result.findings)
     assert fired == sorted(RULE_IDS)
 
@@ -170,6 +171,68 @@ def test_spawn001_lock_guarded_mutation_passes(tmp_path):
         tmp_path,
         "import threading\n\n_T = {}\n_L = threading.Lock()\n\n\n"
         "def put(k, v):\n    with _L:\n        _T[k] = v\n",
+    )
+    assert _rules(result) == []
+
+
+# -- SHM001 ------------------------------------------------------------------
+
+
+def test_shm001_unguarded_create(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "from multiprocessing import shared_memory\n\n\n"
+        "def f(n):\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=n)\n"
+        "    return seg.name\n",
+    )
+    assert _rules(result) == ["SHM001"]
+    assert "finally" in result.findings[0].message
+
+
+def test_shm001_finally_with_close_and_unlink_passes(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "from multiprocessing import shared_memory\n\n\n"
+        "def f(n):\n"
+        "    seg = None\n"
+        "    try:\n"
+        "        seg = shared_memory.SharedMemory(create=True, size=n)\n"
+        "        return seg.name\n"
+        "    finally:\n"
+        "        if seg is not None:\n"
+        "            seg.close()\n"
+        "            seg.unlink()\n",
+    )
+    assert _rules(result) == []
+
+
+def test_shm001_finally_missing_unlink_fires(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "from multiprocessing import shared_memory\n\n\n"
+        "def f(n):\n"
+        "    seg = None\n"
+        "    try:\n"
+        "        seg = shared_memory.SharedMemory(create=True, size=n)\n"
+        "        return seg.name\n"
+        "    finally:\n"
+        "        if seg is not None:\n"
+        "            seg.close()\n",
+    )
+    assert _rules(result) == ["SHM001"]
+
+
+def test_shm001_attach_site_is_exempt(tmp_path):
+    result = _lint_source(
+        tmp_path,
+        "from multiprocessing import shared_memory\n\n\n"
+        "def f(name):\n"
+        "    seg = shared_memory.SharedMemory(name=name)\n"
+        "    try:\n"
+        "        return bytes(seg.buf[:1])\n"
+        "    finally:\n"
+        "        seg.close()\n",
     )
     assert _rules(result) == []
 

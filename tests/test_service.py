@@ -258,6 +258,23 @@ class TestSessionDeterminismAndResume:
         assert status == 200
         assert blob == model_blob(offline_reference(make_spec()))
 
+    def test_measure_round_is_one_fused_batch(self):
+        """The service measures each suggested batch through a single
+        :meth:`Benchmark.evaluate_batch` call (DESIGN.md §2h) — one fused
+        cost-model pass per round, not one per configuration — and the
+        round-derived oracle keeps repeat measurements bit-identical."""
+        from repro.telemetry import counters
+        from repro.workloads import get_benchmark
+
+        spec = make_spec()
+        benchmark = get_benchmark(spec.benchmark)
+        X = benchmark.space.sample_encoded(np.random.default_rng(0), 6)
+        before = counters.value("costmodel.batches")
+        y = measure_round(spec, X, 0)
+        assert counters.value("costmodel.batches") == before + 1
+        assert y.shape == (6,)
+        np.testing.assert_array_equal(y, measure_round(spec, X, 0))
+
     def test_restart_resumes_open_session_and_stays_bit_identical(
         self, tmp_path
     ):

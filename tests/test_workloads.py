@@ -75,6 +75,47 @@ class TestBenchmarkContract:
         assert np.allclose(b.measure_encoded(X, rng), b.true_times_encoded(X))
 
 
+class TestEvaluateBatch:
+    """The batched evaluation contract (DESIGN.md §2h) on the base class."""
+
+    def test_measure_encoded_is_an_alias(self, rng):
+        b = _Good()
+        X = b.space.sample_encoded(rng, 16)
+        batched = b.evaluate_batch(X, np.random.default_rng(7))
+        alias = b.measure_encoded(X, np.random.default_rng(7))
+        np.testing.assert_array_equal(batched, alias)
+
+    def test_every_registered_benchmark_evaluates_a_batch(self):
+        for name in all_benchmarks():
+            b = get_benchmark(name)
+            X = b.space.sample_encoded(np.random.default_rng(3), 8)
+            y = b.evaluate_batch(X, np.random.default_rng(3))
+            assert y.shape == (8,)
+            assert np.isfinite(y).all() and (y > 0).all()
+
+    def test_fused_batch_is_not_two_half_batches(self, rng):
+        """Callers must never chunk internally: the protocol's noise draw
+        has shape ``(n, n_repeats)``, so splitting a batch consumes the
+        generator differently and changes the bytes."""
+        b = get_benchmark("atax")
+        X = b.space.sample_encoded(rng, 12)
+        fused = b.evaluate_batch(X, np.random.default_rng(11))
+        halves_rng = np.random.default_rng(11)
+        halves = np.concatenate(
+            [b.evaluate_batch(X[:6], halves_rng), b.evaluate_batch(X[6:], halves_rng)]
+        )
+        assert not np.array_equal(fused, halves)
+
+    def test_kernel_batches_route_through_the_cost_model(self, rng):
+        from repro.telemetry import counters
+
+        b = get_benchmark("atax")
+        X = b.space.sample_encoded(rng, 32)
+        before = counters.value("costmodel.batches")
+        b.evaluate_batch(X, np.random.default_rng(1))
+        assert counters.value("costmodel.batches") == before + 1
+
+
 class TestRegistry:
     def test_registry_inventory(self):
         """12 paper kernels + kripke + hypre + 6 extra SPAPT problems."""
