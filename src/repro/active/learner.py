@@ -25,11 +25,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.active.history import IterationRecord, LearningHistory
-from repro.forest import RandomForestRegressor
 from repro.metrics import cumulative_cost, top_alpha_rmse
 from repro.rng import as_generator
 from repro.sampling.base import SamplingStrategy, consume_selection_stats
 from repro.space import DataPool
+from repro.surrogate import Surrogate, make_surrogate, supports_partial_update
+from repro.surrogate.registry import surrogate_entry
 from repro.telemetry import counters, span
 
 __all__ = ["LearnerConfig", "ActiveLearner"]
@@ -50,9 +51,16 @@ class LearnerConfig:
     #: "partial" refreshes only ``refresh_fraction`` of them.
     retrain: str = "scratch"
     refresh_fraction: float = 0.3
-    #: Surrogate family: "forest" (the paper's choice) or "gp" (the
-    #: Gaussian-process baseline of Section II-B, for ablations).
-    model: str = "forest"
+    #: Surrogate family, resolved through the :mod:`repro.surrogate`
+    #: registry: "forest" (the paper's choice), "gp" (the Section II-B
+    #: baseline), "select"/"stack" (cross-validated meta-surrogates),
+    #: "transfer", or any downstream registration.
+    surrogate: str = "forest"
+    #: Free-form per-surrogate settings, normalised to a sorted tuple of
+    #: ``(key, value)`` pairs (a dict is accepted and converted) — e.g.
+    #: ``{"source": "model.npz"}`` for "transfer" or
+    #: ``{"candidates": ("forest", "gp"), "k_folds": 5}`` for "select".
+    surrogate_options: tuple = ()
     #: Forest hyper-parameters.
     n_estimators: int = 30
     max_features: "int | float | str | None" = "third"
@@ -70,10 +78,20 @@ class LearnerConfig:
             raise ValueError("eval_every must be >= 1")
         if self.retrain not in ("scratch", "partial"):
             raise ValueError(f"retrain must be 'scratch' or 'partial', got {self.retrain!r}")
-        if self.model not in ("forest", "gp"):
-            raise ValueError(f"model must be 'forest' or 'gp', got {self.model!r}")
-        if self.model == "gp" and self.retrain == "partial":
-            raise ValueError("the GP surrogate only supports retrain='scratch'")
+        options = self.surrogate_options
+        if not isinstance(options, tuple):
+            options = tuple(sorted(dict(options).items()))
+            object.__setattr__(self, "surrogate_options", options)
+        try:
+            surrogate_entry(self.surrogate)
+        except KeyError as exc:
+            # Config validation raises ValueError (like every other field);
+            # the registry's did-you-mean message is preserved.
+            raise ValueError(exc.args[0]) from None
+        if self.retrain == "partial" and not supports_partial_update(self.surrogate):
+            raise ValueError(
+                f"the {self.surrogate!r} surrogate only supports retrain='scratch'"
+            )
         if not self.alphas:
             raise ValueError("at least one alpha is required")
         if any(not 0.0 < a <= 1.0 for a in self.alphas):
@@ -132,7 +150,7 @@ class ActiveLearner:
                 f"test set of {len(self.y_test)} is too small for "
                 f"alpha={min(self.config.alphas)}"
             )
-        self.model: RandomForestRegressor | None = None
+        self.model: Surrogate | None = None
         self.X_train = np.empty((0, self.pool.X.shape[1]))
         self.y_train = np.empty(0)
         self.history = LearningHistory()
@@ -145,21 +163,16 @@ class ActiveLearner:
         self._iteration = 0
 
     # -- internals ---------------------------------------------------------
-    def _make_model(self):
+    def _make_model(self) -> Surrogate:
         cfg = self.config
-        if cfg.model == "gp":
-            from repro.gp import GaussianProcessRegressor
-
-            # log_targets keeps predicted times positive — see repro.gp.
-            return GaussianProcessRegressor(
-                n_restarts=1, log_targets=True, seed=self.rng
-            )
-        return RandomForestRegressor(
-            n_estimators=cfg.n_estimators,
-            max_features=cfg.max_features,
-            min_samples_leaf=cfg.min_samples_leaf,
-            uncertainty=cfg.uncertainty,
-            seed=self.rng,
+        # The shared self.rng stream: surrogate construction and fitting
+        # draw from the same generator as the strategy, so runs stay
+        # bit-identical regardless of execution layout.
+        return make_surrogate(
+            cfg.surrogate,
+            config=cfg,
+            rng=self.rng,
+            options=dict(cfg.surrogate_options),
         )
 
     def _refit(self, X_new: np.ndarray, y_new: np.ndarray) -> None:

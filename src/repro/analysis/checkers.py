@@ -298,7 +298,7 @@ def check_spawn001(module: ModuleContext) -> Iterator[Hit]:
 
 #: The namespace grammar every span/counter/gauge name must satisfy.
 TELEMETRY_NAME_GRAMMAR = re.compile(
-    r"^(engine|forest|learner|costmodel|service)\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
+    r"^(engine|forest|learner|costmodel|service|surrogate)\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
 )
 
 _TELEMETRY_CALL_SUFFIXES = (
@@ -323,7 +323,7 @@ def _is_telemetry_call(module: ModuleContext, node: ast.Call) -> "str | None":
     "telemetry name violates the namespace grammar or is not a literal",
     "Span/counter names are a queryable schema: they must be string "
     "literals (greppable, summarizable) in the engine./forest./learner./ "
-    "costmodel./service. namespaces.",
+    "costmodel./service./surrogate. namespaces.",
 )
 def check_tel001(module: ModuleContext) -> Iterator[Hit]:
     for node in ast.walk(module.tree):
@@ -345,8 +345,8 @@ def check_tel001(module: ModuleContext) -> Iterator[Hit]:
             yield _hit(
                 name_arg,
                 f"telemetry name {name_arg.value!r} outside the "
-                "engine.*/forest.*/learner.*/costmodel.*/service.* "
-                "namespace grammar",
+                "engine.*/forest.*/learner.*/costmodel.*/service.*/"
+                "surrogate.* namespace grammar",
             )
 
 

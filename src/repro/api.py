@@ -29,6 +29,7 @@ from repro.experiments.aggregate import AveragedTrace
 from repro.experiments.config import SCALES, ExperimentScale
 from repro.experiments.runner import DEFAULT_ALPHAS, comparison_traces, strategy_trace
 from repro.sampling import get_strategy
+from repro.surrogate import surrogate_entry
 
 __all__ = ["RunResult", "CompareResult", "run", "compare", "serve", "connect"]
 
@@ -94,6 +95,22 @@ def _engine_config(
     if batch_size is not None:
         config = dataclasses.replace(config, batch_size=int(batch_size))
     return config
+
+
+def _surrogate_overrides(surrogate: "str | None") -> "dict | None":
+    """Validate a surrogate name and translate it to config overrides.
+
+    ``None`` and the default ``"forest"`` both map to *no* overrides, so
+    the default path's job keys — and therefore every committed trace and
+    cached result — are byte-identical to what they were before the
+    surrogate field existed.
+    """
+    if surrogate is None:
+        return None
+    surrogate_entry(surrogate)  # fail fast on unknown names (did-you-mean)
+    if surrogate == "forest":
+        return None
+    return {"surrogate": surrogate}
 
 
 def _trace_metrics(trace: AveragedTrace) -> dict:
@@ -163,6 +180,7 @@ def run(
     max_retries: "int | None" = None,
     job_timeout: "float | None" = None,
     batch_size: "int | None" = None,
+    surrogate: "str | None" = None,
 ) -> RunResult:
     """Run one strategy on one workload and average repeated trials.
 
@@ -171,6 +189,12 @@ def run(
     workload, strategy:
         Benchmark and strategy names (registry-resolved; unknown strategy
         names raise immediately with a closest-match hint).
+    surrogate:
+        Surrogate family driving the loop, resolved through
+        :mod:`repro.surrogate` ("forest", "gp", "select", "stack", ...);
+        default is the paper's forest.  Unknown names raise immediately
+        with a closest-match hint, and results stay bit-identical at any
+        ``jobs``/``batch_size`` for every family.
     seed:
         Root seed; trials derive their randomness content-addressed from
         it, so results are bit-identical at any ``jobs``.
@@ -200,6 +224,7 @@ def run(
         configuration).  Results are bit-identical at any value.
     """
     get_strategy(strategy, alpha=alpha)  # fail fast on unknown names
+    overrides = _surrogate_overrides(surrogate)
     resolved = _resolve_scale(scale)
     if budget is not None:
         resolved = dataclasses.replace(resolved, n_max=int(budget))
@@ -215,6 +240,7 @@ def run(
             seed=seed,
             alpha=alpha,
             alphas=alphas,
+            config_overrides=overrides,
             engine=engine,
         )
 
@@ -246,16 +272,19 @@ def compare(
     max_retries: "int | None" = None,
     job_timeout: "float | None" = None,
     batch_size: "int | None" = None,
+    surrogate: "str | None" = None,
 ) -> CompareResult:
     """Run several strategies against one shared pool/test split.
 
     All (strategy, trial) jobs are submitted in a single engine batch, so
     ``jobs=N`` parallelism spans strategies.  Parameters are as in
-    :func:`run`; ``strategies`` is any iterable of registered names.
+    :func:`run`; ``strategies`` is any iterable of registered names, and
+    ``surrogate`` applies one family to every strategy in the comparison.
     """
     strategies = tuple(strategies)
     for name in strategies:
         get_strategy(name, alpha=alpha)
+    overrides = _surrogate_overrides(surrogate)
     resolved = _resolve_scale(scale)
     if budget is not None:
         resolved = dataclasses.replace(resolved, n_max=int(budget))
@@ -271,6 +300,7 @@ def compare(
             seed=seed,
             alpha=alpha,
             alphas=alphas,
+            config_overrides=overrides,
             engine=engine,
         )
 

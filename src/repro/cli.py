@@ -29,9 +29,11 @@ with exponential backoff before being recorded as failed),
 1 = per-trial dispatch — results are bit-identical at any B), and
 ``--trace [FILE]`` (record telemetry spans — see :mod:`repro.telemetry` —
 into a JSONL file and print a per-phase summary; results are
-bit-identical with tracing on or off).  The ``REPRO_FAULTS`` environment
-variable injects deterministic chaos faults for testing (see
-:mod:`repro.engine.faults`).
+bit-identical with tracing on or off), and ``--surrogate NAME`` (swap the
+model family under every strategy: ``forest`` — the paper's default —
+``gp``, ``select``, ``stack``, or any :mod:`repro.surrogate`
+registration).  The ``REPRO_FAULTS`` environment variable injects
+deterministic chaos faults for testing (see :mod:`repro.engine.faults`).
 """
 
 from __future__ import annotations
@@ -132,6 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="record telemetry spans to a JSONL trace "
             "(default file: trace-<run_id>.jsonl) and print a per-phase "
             "summary to stderr; results are unchanged",
+        )
+        p.add_argument(
+            "--surrogate",
+            default="forest",
+            metavar="NAME",
+            help="surrogate family driving the loop (forest, gp, select, "
+            "stack, ...; see `repro list`); default is the paper's forest",
         )
         return p
 
@@ -244,10 +253,15 @@ def main(argv: "list[str] | None" = None) -> int:
     from repro.experiments import figures
 
     if args.command == "list":
+        from repro.surrogate import SURROGATE_NAMES, available_surrogates
+
         extras = [s for s in available_strategies() if s not in STRATEGY_NAMES]
+        sur_extras = [s for s in available_surrogates() if s not in SURROGATE_NAMES]
         print("benchmarks:", ", ".join(all_benchmarks()))
         print("strategies:", ", ".join(STRATEGY_NAMES),
               f"(+ variants: {', '.join(extras)})" if extras else "")
+        print("surrogates:", ", ".join(SURROGATE_NAMES),
+              f"(+ {', '.join(sur_extras)})" if sur_extras else "")
         print("scales:    ", ", ".join(sorted(SCALES)))
         return 0
 
@@ -301,54 +315,81 @@ def _dispatch(args, figures) -> int:
     """Run one figure subcommand under the installed engine context."""
     scale = SCALES[args.scale]
     out = args.out_dir
+    surrogate = getattr(args, "surrogate", "forest")
 
     if args.command == "fig2":
         f2, f3 = figures.fig2_fig3(
-            scale, kernels=tuple(args.kernels), alpha=args.alpha, seed=args.seed
+            scale, kernels=tuple(args.kernels), alpha=args.alpha, seed=args.seed,
+            surrogate=surrogate,
         )
         _emit(f2, out)
         _emit(f3, out)
         return 0
 
     if args.command == "fig4":
-        f4, f5 = figures.fig4_fig5(scale, alpha=args.alpha, seed=args.seed)
+        f4, f5 = figures.fig4_fig5(
+            scale, alpha=args.alpha, seed=args.seed, surrogate=surrogate
+        )
         _emit(f4, out)
         _emit(f5, out)
         return 0
 
     if args.command == "fig6":
-        _emit(figures.fig6(scale, benchmark=args.benchmark, seed=args.seed), out)
+        _emit(
+            figures.fig6(
+                scale, benchmark=args.benchmark, seed=args.seed, surrogate=surrogate
+            ),
+            out,
+        )
         return 0
 
     if args.command == "fig7":
         benches = tuple(args.benchmarks) if args.benchmarks else None
         _emit(
-            figures.fig7(scale, benchmarks=benches, alpha=args.alpha, seed=args.seed),
+            figures.fig7(
+                scale, benchmarks=benches, alpha=args.alpha, seed=args.seed,
+                surrogate=surrogate,
+            ),
             out,
         )
         return 0
 
     if args.command == "fig8":
-        _emit(figures.fig8(scale, benchmark_name=args.benchmark, seed=args.seed), out)
+        _emit(
+            figures.fig8(
+                scale, benchmark_name=args.benchmark, seed=args.seed,
+                surrogate=surrogate,
+            ),
+            out,
+        )
         return 0
 
     if args.command == "fig9":
-        _emit(figures.fig9(scale, benchmark_name=args.benchmark, seed=args.seed), out)
+        _emit(
+            figures.fig9(
+                scale, benchmark_name=args.benchmark, seed=args.seed,
+                surrogate=surrogate,
+            ),
+            out,
+        )
         return 0
 
     if args.command == "all":
         print(figures.tables_1_to_4().render())
-        f2, f3 = figures.fig2_fig3(scale, seed=args.seed)
+        f2, f3 = figures.fig2_fig3(scale, seed=args.seed, surrogate=surrogate)
         _emit(f2, out)
         _emit(f3, out)
-        f4, f5 = figures.fig4_fig5(scale, seed=args.seed)
+        f4, f5 = figures.fig4_fig5(scale, seed=args.seed, surrogate=surrogate)
         _emit(f4, out)
         _emit(f5, out)
-        _emit(figures.fig6(scale, seed=args.seed), out)
+        _emit(figures.fig6(scale, seed=args.seed, surrogate=surrogate), out)
         pre = {k: {s: _trace_from_dict(d) for s, d in v.items()} for k, v in {**f2.data, **f4.data}.items()}
-        _emit(figures.fig7(scale, seed=args.seed, precomputed=pre), out)
-        _emit(figures.fig8(scale, seed=args.seed), out)
-        _emit(figures.fig9(scale, seed=args.seed), out)
+        _emit(
+            figures.fig7(scale, seed=args.seed, precomputed=pre, surrogate=surrogate),
+            out,
+        )
+        _emit(figures.fig8(scale, seed=args.seed, surrogate=surrogate), out)
+        _emit(figures.fig9(scale, seed=args.seed, surrogate=surrogate), out)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

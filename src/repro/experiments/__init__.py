@@ -12,8 +12,6 @@ from repro.experiments.aggregate import AveragedTrace, average_histories
 from repro.experiments.runner import (
     comparison_traces,
     prepare_data,
-    run_comparison,
-    run_strategy,
     strategy_trace,
 )
 
@@ -25,7 +23,4 @@ __all__ = [
     "prepare_data",
     "strategy_trace",
     "comparison_traces",
-    # deprecated aliases (shims emitting DeprecationWarning)
-    "run_strategy",
-    "run_comparison",
 ]

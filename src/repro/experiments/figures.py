@@ -39,6 +39,18 @@ __all__ = [
 APP_NAMES: tuple[str, ...] = ("kripke", "hypre")
 
 
+def _surrogate_cfg(surrogate: str) -> "dict | None":
+    """Figure-driver translation of ``--surrogate`` to config overrides.
+
+    The default "forest" maps to *no* overrides so default job keys (and
+    every cached trial and committed trace) stay byte-identical.
+    """
+    from repro.surrogate import surrogate_entry
+
+    surrogate_entry(surrogate)  # fail fast with a did-you-mean
+    return None if surrogate == "forest" else {"surrogate": surrogate}
+
+
 @dataclass
 class FigureResult:
     """Rendered panels plus raw data for one paper figure/table."""
@@ -113,11 +125,14 @@ def fig2_fig3(
     strategies: "tuple[str, ...]" = STRATEGY_NAMES,
     alpha: float = 0.01,
     seed: int = 0,
+    surrogate: str = "forest",
 ) -> tuple[FigureResult, FigureResult]:
     """Fig. 2 (RMSE vs #samples) and Fig. 3 (CC vs #samples), 12 kernels.
 
-    One experiment feeds both figures, as in the paper.
+    One experiment feeds both figures, as in the paper.  ``surrogate``
+    swaps the model family under every strategy (registry-resolved).
     """
+    overrides = _surrogate_cfg(surrogate)
     alpha_key = f"{alpha:g}"
     fig2 = FigureResult(
         name="Fig. 2",
@@ -129,7 +144,10 @@ def fig2_fig3(
         description=f"cumulative labeling cost vs #samples (scale={scale.name})",
     )
     for kernel in kernels:
-        traces = comparison_traces(kernel, strategies, scale, seed=seed, alpha=alpha)
+        traces = comparison_traces(
+            kernel, strategies, scale, seed=seed, alpha=alpha,
+            config_overrides=overrides,
+        )
         rmse_panel, cc_panel = _comparison_panels(traces, alpha_key)
         fig2.panels[kernel] = rmse_panel
         fig3.panels[kernel] = cc_panel
@@ -147,8 +165,10 @@ def fig4_fig5(
     strategies: "tuple[str, ...]" = STRATEGY_NAMES,
     alpha: float = 0.01,
     seed: int = 0,
+    surrogate: str = "forest",
 ) -> tuple[FigureResult, FigureResult]:
     """Fig. 4 (RMSE and CC vs #samples) and Fig. 5 (RMSE vs CC) for the apps."""
+    overrides = _surrogate_cfg(surrogate)
     alpha_key = f"{alpha:g}"
     fig4 = FigureResult(
         name="Fig. 4",
@@ -160,7 +180,10 @@ def fig4_fig5(
         description="RMSE vs cumulative time cost: kripke, hypre",
     )
     for app in APP_NAMES:
-        traces = comparison_traces(app, strategies, scale, seed=seed, alpha=alpha)
+        traces = comparison_traces(
+            app, strategies, scale, seed=seed, alpha=alpha,
+            config_overrides=overrides,
+        )
         rmse_panel, cc_panel = _comparison_panels(traces, alpha_key)
         fig4.panels[f"{app} (a) RMSE"] = rmse_panel
         fig4.panels[f"{app} (b) CC"] = cc_panel
@@ -194,8 +217,14 @@ def fig6(
     benchmark: str = "atax",
     alphas: "tuple[float, ...]" = (0.01, 0.05, 0.10),
     seed: int = 0,
+    surrogate: str = "forest",
 ) -> FigureResult:
-    """RMSE vs #samples for PBUS and PWU at each α (robustness check)."""
+    """RMSE vs #samples for PBUS and PWU at each α (robustness check).
+
+    ``surrogate`` swaps the model family, making this the natural
+    harness for surrogate head-to-heads (see EXPERIMENTS.md).
+    """
+    overrides = _surrogate_cfg(surrogate)
     result = FigureResult(
         name="Fig. 6",
         description=f"PBUS vs PWU on {benchmark} at α ∈ {alphas} "
@@ -204,7 +233,8 @@ def fig6(
     for a in alphas:
         key = f"{a:g}"
         traces = comparison_traces(
-            benchmark, ("pbus", "pwu"), scale, seed=seed, alpha=a, alphas=(a,)
+            benchmark, ("pbus", "pwu"), scale, seed=seed, alpha=a, alphas=(a,),
+            config_overrides=overrides,
         )
         any_trace = next(iter(traces.values()))
         result.panels[f"alpha={a:g}"] = series_table(
@@ -226,12 +256,14 @@ def fig7(
     alpha: float = 0.01,
     seed: int = 0,
     precomputed: "dict[str, dict[str, AveragedTrace]] | None" = None,
+    surrogate: str = "forest",
 ) -> FigureResult:
     """Speedup of cumulative cost to reach a common low error level.
 
     The paper reports up to 21x, ~3x on average across the 14 benchmarks.
     Pass ``precomputed`` traces (from fig2/fig4 runs) to avoid re-running.
     """
+    overrides = _surrogate_cfg(surrogate)
     if benchmarks is None:
         benchmarks = SPAPT_KERNEL_NAMES + APP_NAMES
     alpha_key = f"{alpha:g}"
@@ -247,7 +279,8 @@ def fig7(
             traces = precomputed[bench]
         else:
             traces = comparison_traces(
-                bench, ("pbus", "pwu"), scale, seed=seed, alpha=alpha
+                bench, ("pbus", "pwu"), scale, seed=seed, alpha=alpha,
+                config_overrides=overrides,
             )
         sp, level = speedup_at_level(
             traces["pbus"].cc_mean,
@@ -277,8 +310,10 @@ def fig8(
     benchmark_name: str = "atax",
     n_tuning_iterations: int = 40,
     seed: int = 0,
+    surrogate: str = "forest",
 ) -> FigureResult:
     """Case study: surrogate-annotated tuning tracks ground-truth tuning."""
+    overrides = _surrogate_cfg(surrogate)
     result = FigureResult(
         name="Fig. 8",
         description=f"direct vs surrogate tuning on {benchmark_name} "
@@ -290,7 +325,8 @@ def fig8(
 
     # Build the surrogate with PWU active learning (the paper's method).
     history = run_single(
-        benchmark, "pwu", scale, pool, X_test, y_test, rng, alpha=0.05
+        benchmark, "pwu", scale, pool, X_test, y_test, rng, alpha=0.05,
+        config_overrides=overrides,
     )
     # Refit a forest on the final training set for the annotator role.
     from repro.forest import RandomForestRegressor
@@ -368,6 +404,7 @@ def fig9(
     scale: ExperimentScale,
     benchmark_name: str = "atax",
     seed: int = 0,
+    surrogate: str = "forest",
 ) -> FigureResult:
     """Where PBUS and PWU spend their selections in the (μ, σ) plane.
 
@@ -380,6 +417,7 @@ def fig9(
         description=f"selected-sample distribution, PBUS vs PWU on "
         f"{benchmark_name} (scale={scale.name})",
     )
+    overrides = _surrogate_cfg(surrogate)
     benchmark = get_benchmark(benchmark_name)
     from repro.forest import RandomForestRegressor
 
@@ -388,7 +426,8 @@ def fig9(
         rng = derive(seed, "fig9", strategy)
         pool, X_test, y_test = prepare_data(benchmark, scale, rng)
         history = run_single(
-            benchmark, strategy, scale, pool, X_test, y_test, rng, alpha=0.05
+            benchmark, strategy, scale, pool, X_test, y_test, rng, alpha=0.05,
+            config_overrides=overrides,
         )
         # Selected samples plotted at their *selection-time* (μ, σ) — the
         # paper's coordinates.  The grey pool backdrop uses a model fit on

@@ -5,15 +5,12 @@ primitives (one split, one Algorithm 1 run); :func:`strategy_trace` and
 :func:`comparison_traces` schedule repeated trials through the execution
 engine (:mod:`repro.engine`) for parallelism, caching, and resume.
 
-The historical names :func:`run_strategy`/:func:`run_comparison` remain
-as deprecation shims; new code should call :func:`repro.api.run` /
-:func:`repro.api.compare` (the typed facade) or the canonical functions
-here.
+Callers wanting the typed facade use :func:`repro.api.run` /
+:func:`repro.api.compare`; the historical ``run_strategy`` /
+``run_comparison`` shims have been removed.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 
@@ -30,8 +27,6 @@ __all__ = [
     "run_single",
     "strategy_trace",
     "comparison_traces",
-    "run_strategy",
-    "run_comparison",
 ]
 
 #: The α values every run evaluates (Section III-D).
@@ -206,6 +201,7 @@ def comparison_traces(
     seed: int = 0,
     alpha: float = 0.05,
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    config_overrides: "dict | None" = None,
     engine: "object | None" = None,
 ) -> dict[str, AveragedTrace]:
     """All strategies on one benchmark with a shared pool/test split.
@@ -215,12 +211,21 @@ def comparison_traces(
     and the pool/test split (including the up-front ``y_test`` measurement)
     is prepared once per process per benchmark rather than once per
     strategy, via the executor's prepared-data cache.
+    ``config_overrides`` patches :class:`LearnerConfig` fields for every
+    strategy (e.g. ``{"surrogate": "gp"}`` to compare strategies under a
+    different surrogate family).
     """
     from repro.engine import run_jobs, trial_jobs
 
     per_strategy = {
         s: trial_jobs(
-            benchmark_name, s, scale, seed=seed, alpha=alpha, alphas=alphas
+            benchmark_name,
+            s,
+            scale,
+            seed=seed,
+            alpha=alpha,
+            alphas=alphas,
+            config_overrides=config_overrides,
         )
         for s in strategy_names
     }
@@ -230,31 +235,3 @@ def comparison_traces(
         s: average_histories(s, _histories(jobs, results))
         for s, jobs in per_strategy.items()
     }
-
-
-def run_strategy(*args, **kwargs) -> AveragedTrace:
-    """Deprecated name for :func:`strategy_trace`; use :func:`repro.api.run`.
-
-    Forwards all positional and keyword arguments losslessly.
-    """
-    warnings.warn(
-        "run_strategy() is deprecated; call repro.api.run() or "
-        "repro.experiments.strategy_trace() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return strategy_trace(*args, **kwargs)
-
-
-def run_comparison(*args, **kwargs) -> "dict[str, AveragedTrace]":
-    """Deprecated name for :func:`comparison_traces`; use :func:`repro.api.compare`.
-
-    Forwards all positional and keyword arguments losslessly.
-    """
-    warnings.warn(
-        "run_comparison() is deprecated; call repro.api.compare() or "
-        "repro.experiments.comparison_traces() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return comparison_traces(*args, **kwargs)

@@ -21,7 +21,7 @@ from repro.forest.forest import RandomForestRegressor
 from repro.forest.packed import FIELDS, PackedForest
 from repro.forest.tree import RegressionTree
 
-__all__ = ["save_forest", "load_forest"]
+__all__ = ["save_forest", "load_forest", "forest_payload", "forest_from_payload"]
 
 _FORMAT_VERSION = 2
 
@@ -37,8 +37,13 @@ _TREE_FIELDS = (
 )
 
 
-def save_forest(model: RandomForestRegressor, path: str) -> None:
-    """Serialise a fitted forest to ``path`` (``.npz``), packed form."""
+def forest_payload(model: RandomForestRegressor) -> dict[str, np.ndarray]:
+    """The format-2 npz payload for a fitted forest, as a flat dict.
+
+    Shared between :func:`save_forest` and the surrogate-protocol
+    adapter (:mod:`repro.surrogate`), whose envelopes embed the same
+    arrays.
+    """
     if not model.trees_:
         raise ValueError("cannot save an unfitted forest")
     packed = model.packed()
@@ -50,7 +55,12 @@ def save_forest(model: RandomForestRegressor, path: str) -> None:
     }
     for name, arr in packed.arrays().items():
         payload[f"packed_{name}"] = arr
-    np.savez_compressed(path, **payload)
+    return payload
+
+
+def save_forest(model: RandomForestRegressor, path: str) -> None:
+    """Serialise a fitted forest to ``path`` (``.npz``), packed form."""
+    np.savez_compressed(path, **forest_payload(model))
 
 
 def _load_v1(data) -> list[RegressionTree]:
@@ -67,6 +77,35 @@ def _load_v1(data) -> list[RegressionTree]:
     return trees
 
 
+def forest_from_payload(data) -> RandomForestRegressor:
+    """Rebuild a forest from a format-1/2 payload mapping (dict or npz)."""
+    version = int(data["format_version"])
+    uncertainty = str(data["uncertainty"])
+    if version == 1:
+        trees = _load_v1(data)
+        model = RandomForestRegressor(
+            n_estimators=len(trees), uncertainty=uncertainty
+        )
+        model.trees_ = trees
+        return model
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported forest format version {version} "
+            f"(this build reads <= {_FORMAT_VERSION})"
+        )
+    packed = PackedForest(
+        *(np.asarray(data[f"packed_{name}"]) for name in FIELDS),
+        offsets=np.asarray(data["offsets"]),
+        n_features=int(data["n_features"]),
+    )
+    model = RandomForestRegressor(
+        n_estimators=packed.n_trees, uncertainty=uncertainty
+    )
+    model.trees_ = packed.to_trees()
+    model._packed = packed
+    return model
+
+
 def load_forest(path: str) -> RandomForestRegressor:
     """Load a forest saved by :func:`save_forest` (format 1 or 2).
 
@@ -75,28 +114,4 @@ def load_forest(path: str) -> RandomForestRegressor:
     from data if you need to keep learning.
     """
     with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        uncertainty = str(data["uncertainty"])
-        if version == 1:
-            trees = _load_v1(data)
-            model = RandomForestRegressor(
-                n_estimators=len(trees), uncertainty=uncertainty
-            )
-            model.trees_ = trees
-            return model
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported forest format version {version} "
-                f"(this build reads <= {_FORMAT_VERSION})"
-            )
-        packed = PackedForest(
-            *(data[f"packed_{name}"] for name in FIELDS),
-            offsets=data["offsets"],
-            n_features=int(data["n_features"]),
-        )
-    model = RandomForestRegressor(
-        n_estimators=packed.n_trees, uncertainty=uncertainty
-    )
-    model.trees_ = packed.to_trees()
-    model._packed = packed
-    return model
+        return forest_from_payload(data)

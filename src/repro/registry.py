@@ -1,0 +1,96 @@
+"""Generic name→value registry shared by the strategy, surrogate, and
+workload registries.
+
+Each domain registry used to carry its own copy of the same machinery:
+a module-level dict, duplicate-id rejection, a sorted ``available()``
+listing, and a did-you-mean :class:`KeyError` on unknown names.  This
+module factors that machinery into :class:`NameRegistry` so the three
+registries behave identically — same duplicate-rejection contract, same
+error shapes — and a new registry costs one instantiation.
+
+A :class:`NameRegistry` is dict-like on purpose: ``name in reg``,
+``iter(reg)``, ``len(reg)``, and ``reg.pop(name, default)`` all work, so
+tests that need to inject and clean up a temporary entry can treat it
+like the plain dict it replaced.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Iterator
+
+__all__ = ["NameRegistry"]
+
+
+class NameRegistry:
+    """A mapping of names to registered values for one *kind* of thing.
+
+    ``kind`` is the singular noun used in error messages ("strategy",
+    "surrogate", "benchmark").  Registration rejects duplicates loudly —
+    a silently shadowed entry would corrupt comparisons — unless the
+    caller passes ``overwrite=True`` to replace one deliberately.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+
+    # -- mutation ----------------------------------------------------------
+    def register(self, name: str, value: Any, overwrite: bool = False) -> None:
+        """Bind ``value`` under ``name``; duplicate names raise.
+
+        Registering an existing name raises :class:`ValueError` unless
+        ``overwrite=True`` — a silently shadowed entry would corrupt
+        comparisons.
+        """
+        if not overwrite and name in self._entries:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; a silently "
+                f"shadowed {self.kind} would corrupt comparisons — pass "
+                "overwrite=True to replace it deliberately"
+            )
+        # repro: allow[SPAWN001] registries are populated at import time (and in test setup), before any worker exists
+        self._entries[name] = value
+
+    def pop(self, name: str, default: Any = None) -> Any:
+        """Remove and return ``name``'s value (dict-style; for test cleanup)."""
+        # repro: allow[SPAWN001] only test teardown removes entries, never worker code
+        return self._entries.pop(name, default)
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str) -> Any:
+        """Return the value registered under ``name``.
+
+        Unknown names raise :class:`KeyError` with a closest-match
+        suggestion and the full known-name listing.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            close = difflib.get_close_matches(name, self._entries, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise KeyError(
+                f"unknown {self.kind} {name!r}{hint} "
+                f"(known: {', '.join(sorted(self._entries))})"
+            ) from None
+
+    def available(self) -> tuple[str, ...]:
+        """Every registered name, sorted."""
+        return tuple(sorted(self._entries))
+
+    # -- dict-like protocol ------------------------------------------------
+    def __delitem__(self, name: str) -> None:
+        # repro: allow[SPAWN001] only test teardown removes entries, never worker code
+        del self._entries[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NameRegistry(kind={self.kind!r}, n={len(self._entries)})"

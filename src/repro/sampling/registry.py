@@ -15,8 +15,7 @@ lists but the figure drivers do not plot.
 
 from __future__ import annotations
 
-import difflib
-
+from repro.registry import NameRegistry
 from repro.sampling.base import SamplingStrategy
 from repro.sampling.bestperf import BestPerfSampling
 from repro.sampling.brs import BiasedRandomSampling
@@ -44,7 +43,7 @@ STRATEGY_NAMES: tuple[str, ...] = (
 )
 
 #: name → factory taking the PWU ``alpha`` (ignored by most strategies).
-_REGISTRY: "dict[str, callable]" = {}
+_REGISTRY = NameRegistry("strategy")
 
 
 def register_strategy(name: str, factory, overwrite: bool = False) -> None:
@@ -53,19 +52,12 @@ def register_strategy(name: str, factory, overwrite: bool = False) -> None:
     Registering an existing name raises unless ``overwrite=True`` — a
     silently shadowed strategy would corrupt comparisons.
     """
-    if not overwrite and name in _REGISTRY:
-        raise ValueError(
-            f"strategy {name!r} is already registered; a silently shadowed "
-            "strategy would corrupt comparisons — pass overwrite=True to "
-            "replace it deliberately"
-        )
-    # repro: allow[SPAWN001] registry populated at import time (and in test setup), before any worker exists
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def available_strategies() -> tuple[str, ...]:
     """Every registered strategy name, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return _REGISTRY.available()
 
 
 def get_strategy(name: str, alpha: float = 0.05) -> SamplingStrategy:
@@ -75,16 +67,7 @@ def get_strategy(name: str, alpha: float = 0.05) -> SamplingStrategy:
     the biased baselines keep the paper's top-10% setting.  Unknown names
     raise :class:`KeyError` with a closest-match suggestion.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        close = difflib.get_close_matches(name, _REGISTRY, n=1)
-        hint = f"; did you mean {close[0]!r}?" if close else ""
-        raise KeyError(
-            f"unknown strategy {name!r}{hint} "
-            f"(known: {', '.join(sorted(_REGISTRY))})"
-        ) from None
-    return factory(alpha)
+    return _REGISTRY.get(name)(alpha)
 
 
 def make_strategy(name: str, alpha: float = 0.05) -> SamplingStrategy:

@@ -11,13 +11,13 @@ ports, no threads, and no flakiness.
 Routes (all JSON unless noted)::
 
     GET  /v1/healthz                  liveness + session count
-    GET  /v1/strategies               strategies / benchmarks / scales
+    GET  /v1/strategies               strategies / surrogates / benchmarks / scales
     GET  /v1/sessions                 snapshots of every session
     POST /v1/sessions                 create (body: SessionSpec fields)
     GET  /v1/sessions/{id}            one session's snapshot
     POST /v1/sessions/{id}/suggest    next batch (body: {"n": int?})
     POST /v1/sessions/{id}/report     absorb labels (body: indices + y)
-    GET  /v1/sessions/{id}/model      serialized forest (binary .npz)
+    GET  /v1/sessions/{id}/model      serialized surrogate (binary .npz)
 
 Every JSON body is wrapped in the versioned envelope of
 :mod:`repro.service.protocol`; errors are JSON envelopes too (never HTML
@@ -34,6 +34,7 @@ import re
 from repro._version import __version__
 from repro.experiments.config import SCALES
 from repro.sampling import STRATEGY_NAMES, available_strategies
+from repro.surrogate import available_surrogates
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     SERVICE_SCHEMA,
@@ -93,6 +94,7 @@ class ServiceApp:
                     {
                         "strategies": list(available_strategies()),
                         "paper_strategies": list(STRATEGY_NAMES),
+                        "surrogates": list(available_surrogates()),
                         "benchmarks": list(all_benchmarks()),
                         "scales": sorted(SCALES),
                     }
@@ -145,6 +147,7 @@ class ServiceApp:
                 "X-Repro-Schema": SERVICE_SCHEMA,
                 "X-Repro-Protocol": str(PROTOCOL_VERSION),
                 "X-Repro-Version": __version__,
+                "X-Repro-Surrogate": session.spec.surrogate,
             }
             return 200, headers, blob
         raise ProtocolError(

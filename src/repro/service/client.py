@@ -16,8 +16,8 @@ traffic through an HTTP proxy would be both slow and surprising).
 :meth:`Client.run_session` is the convenience loop for client-evaluated
 tuning: create a session, then suggest → measure (your callable) →
 report until the budget is exhausted, returning the final snapshot.
-:meth:`Client.model` deserializes the daemon's packed-forest bytes back
-into a predicting :class:`~repro.forest.RandomForestRegressor`.
+:meth:`Client.model` deserializes the daemon's surrogate bytes back into
+a predicting :class:`~repro.surrogate.Surrogate` adapter.
 """
 
 from __future__ import annotations
@@ -27,8 +27,8 @@ import json
 import urllib.error
 import urllib.request
 
-from repro.forest.serialize import load_forest
 from repro.service.protocol import PROTOCOL_VERSION, SERVICE_SCHEMA
+from repro.surrogate import load_surrogate
 
 __all__ = ["Client", "ServiceError"]
 
@@ -175,8 +175,14 @@ class Client:
         return raw
 
     def model(self, session_id: str):
-        """The fitted surrogate, deserialized and ready to predict."""
-        return load_forest(io.BytesIO(self.model_bytes(session_id)))
+        """The fitted surrogate, deserialized and ready to predict.
+
+        Returns the :class:`~repro.surrogate.Surrogate` adapter matching
+        the session's family (``X-Repro-Surrogate`` header); the default
+        forest arrives as a :class:`~repro.surrogate.ForestSurrogate`
+        wrapping the same packed forest the daemon fitted.
+        """
+        return load_surrogate(io.BytesIO(self.model_bytes(session_id)))
 
     # -- convenience ---------------------------------------------------------
     def run_session(self, measure, **spec_fields) -> dict:

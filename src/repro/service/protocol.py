@@ -98,6 +98,11 @@ class SessionSpec:
 
     benchmark: str
     strategy: str = "pwu"
+    #: Surrogate family (``repro.surrogate`` registry name) driving the
+    #: session's model; the default forest keeps specs — and therefore
+    #: spec hashes and session ids — stable for pre-surrogate clients
+    #: that never send the field.
+    surrogate: str = "forest"
     seed: int = 0
     #: ``client``: callers measure and report; ``server``: the daemon
     #: evaluates suggested configurations against the benchmark itself.
@@ -165,7 +170,13 @@ class SessionSpec:
         spec.validate_names()
         try:
             spec.to_scale()
-            spec.learner_config()
+            config = spec.learner_config()
+            # Probe buildability: a registered surrogate that needs options
+            # the wire spec cannot carry (e.g. "transfer" without a source
+            # model) must fail at session creation, not mid-session.
+            from repro.surrogate import make_surrogate
+
+            make_surrogate(spec.surrogate, config=config)
         except ProtocolError:
             raise
         except ValueError as exc:
@@ -173,8 +184,9 @@ class SessionSpec:
         return spec
 
     def validate_names(self) -> None:
-        """Check benchmark and strategy names against their registries."""
+        """Check benchmark/strategy/surrogate names against their registries."""
         from repro.sampling import available_strategies
+        from repro.surrogate import available_surrogates
         from repro.workloads import all_benchmarks
 
         if self.benchmark not in all_benchmarks():
@@ -190,6 +202,13 @@ class SessionSpec:
                 "unknown_strategy",
                 f"unknown strategy {self.strategy!r}; "
                 f"choose from {', '.join(available_strategies())}",
+            )
+        if self.surrogate not in available_surrogates():
+            raise ProtocolError(
+                400,
+                "unknown_surrogate",
+                f"unknown surrogate {self.surrogate!r}; "
+                f"choose from {', '.join(available_surrogates())}",
             )
 
     # -- derived forms -------------------------------------------------------
@@ -221,6 +240,7 @@ class SessionSpec:
             alphas=self.alphas,
             eval_every=scale.eval_every,
             n_estimators=scale.n_estimators,
+            surrogate=self.surrogate,
         )
 
     def to_dict(self) -> dict:

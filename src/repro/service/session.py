@@ -29,7 +29,6 @@ suggest/report wire protocol safe.
 
 from __future__ import annotations
 
-import io
 import json
 import threading
 import time
@@ -42,7 +41,7 @@ from repro.engine import current_engine
 from repro.engine.executor import backoff_seconds
 from repro.engine.store import append_jsonl, atomic_write_text, iter_jsonl
 from repro.experiments.runner import prepare_data
-from repro.forest.serialize import save_forest
+from repro.surrogate import surrogate_bytes
 from repro.rng import derive
 from repro.sampling import get_strategy
 from repro.service.protocol import (
@@ -277,6 +276,7 @@ class Session:
                 "mode": self.spec.mode,
                 "benchmark": self.spec.benchmark,
                 "strategy": self.spec.strategy,
+                "surrogate": self.spec.surrogate,
                 "seed": self.spec.seed,
                 "rounds": self.rounds,
                 "n_labeled": learner.n_labeled,
@@ -379,8 +379,12 @@ class Session:
 
     # -- artifacts -----------------------------------------------------------
     def model_bytes(self) -> bytes:
-        """The fitted surrogate serialized in PackedForest format v2.
+        """The fitted surrogate serialized in its ``.npz`` envelope.
 
+        The bytes are whatever :func:`repro.surrogate.save_surrogate`
+        writes for the session's surrogate family — for the default
+        forest that is the PackedForest format v2 payload (plus the kind
+        stamp), which :func:`repro.forest.load_forest` still reads.
         Raises :class:`ProtocolError` (409) while no model exists yet
         (before the cold-start report lands).
         """
@@ -392,9 +396,7 @@ class Session:
                     "the session has no fitted model yet "
                     "(report the cold-start batch first)",
                 )
-            buf = io.BytesIO()
-            save_forest(self.learner.model, buf)
-            return buf.getvalue()
+            return surrogate_bytes(self.learner.model)
 
 
 def run_server_session(session: Session, stop: threading.Event) -> None:

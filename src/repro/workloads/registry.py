@@ -10,33 +10,29 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.registry import NameRegistry
 from repro.workloads.base import Benchmark
 
 __all__ = ["register_benchmark", "get_benchmark", "all_benchmarks"]
 
-_REGISTRY: dict[str, Callable[[], Benchmark]] = {}
+_REGISTRY = NameRegistry("benchmark")
 
 
-def register_benchmark(name: str, factory: Callable[[], Benchmark]) -> None:
+def register_benchmark(
+    name: str, factory: Callable[[], Benchmark], overwrite: bool = False
+) -> None:
     """Register ``factory`` under ``name``; re-registration is an error."""
-    if name in _REGISTRY:
-        raise ValueError(
-            f"benchmark {name!r} is already registered; remove the duplicate "
-            "registration instead of shadowing it"
-        )
-    # repro: allow[SPAWN001] registry populated at import time, before any worker exists
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def get_benchmark(name: str) -> Benchmark:
-    """Instantiate the benchmark registered under ``name``."""
+    """Instantiate the benchmark registered under ``name``.
+
+    Unknown names raise :class:`KeyError` with a closest-match
+    suggestion.
+    """
     _ensure_loaded()
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
-    return factory()
+    return _REGISTRY.get(name)()
 
 
 def all_benchmarks() -> tuple[str, ...]:

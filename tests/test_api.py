@@ -1,4 +1,4 @@
-"""repro.api facade, the strategy registry, and the deprecation shims."""
+"""repro.api facade and the strategy registry."""
 
 from __future__ import annotations
 
@@ -8,12 +8,7 @@ import pytest
 import repro.api
 from repro import telemetry
 from repro.engine.context import EngineConfig, use_engine
-from repro.experiments.runner import (
-    comparison_traces,
-    run_comparison,
-    run_strategy,
-    strategy_trace,
-)
+from repro.experiments.runner import comparison_traces, strategy_trace
 from repro.sampling import (
     available_strategies,
     get_strategy,
@@ -152,20 +147,12 @@ class TestCompare:
             repro.api.compare("mvt", ("random", "bestprf"), scale=tiny_scale)
 
 
-class TestDeprecationShims:
-    def test_run_strategy_warns_and_forwards(self, tiny_scale):
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            old = run_strategy(
-                "mvt", "pwu", tiny_scale, seed=4, alpha=0.05, label="shimmed"
-            )
-        new = strategy_trace(
-            "mvt", "pwu", tiny_scale, seed=4, alpha=0.05, label="shimmed"
-        )
-        assert old.strategy == "shimmed"  # kwargs forwarded losslessly
-        assert _traces_equal(old, new)
+class TestShimRemoval:
+    def test_deprecated_names_are_gone(self):
+        import repro.experiments
+        import repro.experiments.runner as runner_mod
 
-    def test_run_comparison_warns_and_forwards(self, tiny_scale):
-        with pytest.warns(DeprecationWarning, match="repro.api.compare"):
-            old = run_comparison("mvt", ("random",), tiny_scale, seed=1)
-        new = comparison_traces("mvt", ("random",), tiny_scale, seed=1)
-        assert _traces_equal(old["random"], new["random"])
+        assert not hasattr(runner_mod, "run_strategy")
+        assert not hasattr(runner_mod, "run_comparison")
+        assert not hasattr(repro.experiments, "run_strategy")
+        assert not hasattr(repro.experiments, "run_comparison")

@@ -112,7 +112,7 @@ class TestLearnerIntegration:
             "pwu",
             tiny_scale,
             seed=0,
-            config_overrides={"model": "gp"},
+            config_overrides={"surrogate": "gp"},
         )
         assert trace.n_train[-1] == tiny_scale.n_max
         assert np.isfinite(trace.rmse_mean["0.05"]).all()
@@ -121,13 +121,13 @@ class TestLearnerIntegration:
         from repro.active import LearnerConfig
 
         with pytest.raises(ValueError, match="scratch"):
-            LearnerConfig(model="gp", retrain="partial")
+            LearnerConfig(surrogate="gp", retrain="partial")
 
-    def test_unknown_model_rejected(self):
+    def test_unknown_surrogate_rejected(self):
         from repro.active import LearnerConfig
 
-        with pytest.raises(ValueError, match="model"):
-            LearnerConfig(model="svm")
+        with pytest.raises(ValueError, match="surrogate"):
+            LearnerConfig(surrogate="svm")
 
 
 @given(seed=st.integers(0, 500), n=st.integers(5, 30))

@@ -33,7 +33,8 @@ class TestLogTargets:
         from repro.experiments.runner import strategy_trace
 
         trace = strategy_trace(
-            "hypre", "pwu", tiny_scale, seed=1, config_overrides={"model": "gp"}
+            "hypre", "pwu", tiny_scale, seed=1,
+            config_overrides={"surrogate": "gp"},
         )
         assert trace.n_train[-1] == tiny_scale.n_max
         assert np.isfinite(trace.rmse_mean["0.05"]).all()

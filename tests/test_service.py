@@ -49,13 +49,9 @@ def make_spec(**overrides):
 
 
 def model_blob(learner):
-    import io
+    from repro.surrogate import surrogate_bytes
 
-    from repro.forest.serialize import save_forest
-
-    buf = io.BytesIO()
-    save_forest(learner.model, buf)
-    return buf.getvalue()
+    return surrogate_bytes(learner.model)
 
 
 class AppDriver:
@@ -248,6 +244,69 @@ class TestAppRouting:
         ids = [s["id"] for s in data["sessions"]]
         assert ids == sorted(ids)
         assert a["session"]["id"] in ids and b["session"]["id"] in ids
+
+
+class TestSurrogateSessions:
+    def test_strategies_route_lists_surrogates(self, tmp_path):
+        driver = AppDriver(tmp_path)
+        _, data = driver.call("GET", "/v1/strategies")
+        for name in ("forest", "gp", "select", "stack"):
+            assert name in data["surrogates"]
+
+    def test_unknown_surrogate_rejected_with_400(self, tmp_path):
+        driver = AppDriver(tmp_path)
+        status, data = driver.call(
+            "POST", "/v1/sessions", dict(SPEC_FIELDS, surrogate="forrest")
+        )
+        assert status == 400
+        assert data["error"]["code"] == "unknown_surrogate"
+        assert "forest" in data["error"]["message"]
+
+    def test_transfer_without_source_rejected_at_creation(self, tmp_path):
+        # "transfer" needs a source model the wire spec cannot carry; it
+        # must fail at session creation, not mid-session.
+        driver = AppDriver(tmp_path)
+        status, data = driver.call(
+            "POST", "/v1/sessions", dict(SPEC_FIELDS, surrogate="transfer")
+        )
+        assert status == 400
+        assert data["error"]["code"] == "bad_spec"
+
+    def test_surrogate_participates_in_spec_hash(self):
+        assert make_spec(surrogate="gp").spec_hash() != make_spec().spec_hash()
+
+    def test_snapshot_names_the_surrogate(self, tmp_path):
+        driver = AppDriver(tmp_path)
+        _, data = driver.call(
+            "POST", "/v1/sessions", dict(SPEC_FIELDS, surrogate="gp")
+        )
+        assert data["session"]["surrogate"] == "gp"
+
+    def test_model_header_and_deserialization(self, tmp_path):
+        import io
+
+        from repro.surrogate import GPSurrogate, load_surrogate
+
+        driver = AppDriver(tmp_path)
+        sid = driver.drive(dict(SPEC_FIELDS, surrogate="gp"), rounds=1)
+        status, headers, raw = driver.app.handle(
+            "GET", f"/v1/sessions/{sid}/model"
+        )
+        assert status == 200
+        assert headers["X-Repro-Surrogate"] == "gp"
+        assert isinstance(load_surrogate(io.BytesIO(raw)), GPSurrogate)
+
+    @pytest.mark.parametrize("surrogate", ["gp", "select"])
+    def test_served_session_matches_offline_reference(
+        self, tmp_path, surrogate
+    ):
+        driver = AppDriver(tmp_path)
+        sid = driver.drive(dict(SPEC_FIELDS, surrogate=surrogate))
+        status, blob = driver.call("GET", f"/v1/sessions/{sid}/model")
+        assert status == 200
+        assert blob == model_blob(
+            offline_reference(make_spec(surrogate=surrogate))
+        )
 
 
 class TestSessionDeterminismAndResume:

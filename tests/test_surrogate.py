@@ -1,0 +1,398 @@
+"""The repro.surrogate protocol: registry, adapters, meta-surrogates,
+serialization envelope, and end-to-end determinism."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+import repro.api
+from repro.engine.context import EngineConfig, use_engine
+from repro.forest import RandomForestRegressor, load_forest, save_forest
+from repro.registry import NameRegistry
+from repro.surrogate import (
+    SURROGATE_NAMES,
+    ForestSurrogate,
+    GPSurrogate,
+    SelectSurrogate,
+    StackSurrogate,
+    Surrogate,
+    TransferSurrogate,
+    available_surrogates,
+    load_surrogate,
+    make_surrogate,
+    register_surrogate,
+    save_surrogate,
+    supports_partial_update,
+    surrogate_bytes,
+    surrogate_entry,
+)
+from repro.surrogate import registry as registry_mod
+from repro.surrogate.select import fold_slices
+
+
+@pytest.fixture(autouse=True)
+def _quiet_engine():
+    with use_engine(EngineConfig(jobs=1, progress=False)):
+        yield
+
+
+@pytest.fixture
+def positive_data(rng) -> "tuple[np.ndarray, np.ndarray]":
+    """Positive-target regression data (the GP models log execution time)."""
+    X = rng.random((60, 4))
+    y = np.exp(0.8 * X[:, 0] + np.sin(4.0 * X[:, 1]) * 0.3) + 0.1 * X[:, 2]
+    return X, y
+
+
+def _fit(name: str, X, y, seed=0, **options) -> Surrogate:
+    return make_surrogate(name, rng=np.random.default_rng(seed), options=options)\
+        .fit(X, y)
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        assert set(SURROGATE_NAMES) <= set(available_surrogates())
+
+    def test_every_builtin_is_buildable(self, positive_data):
+        X, y = positive_data
+        source = _fit("forest", X, y)
+        for name in SURROGATE_NAMES:
+            options = {"source": source} if name == "transfer" else {}
+            model = make_surrogate(
+                name, rng=np.random.default_rng(0), options=options
+            )
+            assert isinstance(model, Surrogate)
+            assert model.kind == name
+
+    def test_unknown_name_suggests_closest(self):
+        with pytest.raises(KeyError, match="did you mean 'forest'"):
+            surrogate_entry("forrest")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            make_surrogate("no-such-surrogate")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_surrogate("forest", lambda **_: None)
+
+    def test_register_overwrite_is_explicit(self):
+        entry = surrogate_entry("forest")
+        register_surrogate(
+            "forest",
+            entry.factory,
+            supports_partial_update=True,
+            overwrite=True,
+        )
+        assert surrogate_entry("forest").factory is entry.factory
+
+    def test_register_and_cleanup_custom_surrogate(self):
+        register_surrogate("_probe", lambda **kwargs: ForestSurrogate.build())
+        try:
+            assert "_probe" in available_surrogates()
+            assert isinstance(make_surrogate("_probe"), ForestSurrogate)
+        finally:
+            del registry_mod._REGISTRY["_probe"]
+        assert "_probe" not in available_surrogates()
+
+    def test_capability_flags(self):
+        assert supports_partial_update("forest")
+        for name in ("gp", "select", "stack", "transfer"):
+            assert not supports_partial_update(name)
+
+    def test_transfer_requires_source(self):
+        with pytest.raises(ValueError, match="source"):
+            make_surrogate("transfer")
+
+
+class TestNameRegistry:
+    def test_generic_duplicate_rejection_and_overwrite(self):
+        reg = NameRegistry("widget")
+        reg.register("a", 1)
+        with pytest.raises(ValueError, match="widget 'a' is already registered"):
+            reg.register("a", 2)
+        reg.register("a", 2, overwrite=True)
+        assert reg.get("a") == 2
+
+    def test_dict_like_protocol(self):
+        reg = NameRegistry("widget")
+        reg.register("a", 1)
+        reg.register("b", 2)
+        assert "a" in reg and len(reg) == 2 and sorted(reg) == ["a", "b"]
+        assert reg.available() == ("a", "b")
+        assert reg.pop("a") == 1
+        del reg["b"]
+        assert len(reg) == 0
+
+
+class TestForestAdapter:
+    def test_delegates_to_wrapped_forest(self, positive_data):
+        X, y = positive_data
+        raw = RandomForestRegressor(n_estimators=8, seed=0).fit(X, y)
+        wrapped = ForestSurrogate(
+            RandomForestRegressor(n_estimators=8, seed=0)
+        ).fit(X, y)
+        assert np.array_equal(raw.predict(X), wrapped.predict(X))
+        mu_r, sd_r = raw.predict_with_uncertainty(X)
+        mu_w, sd_w = wrapped.predict_with_uncertainty(X)
+        assert np.array_equal(mu_r, mu_w) and np.array_equal(sd_r, sd_w)
+        assert np.array_equal(raw.training_targets, wrapped.training_targets)
+
+    def test_pool_scorers_reexposed(self):
+        model = ForestSurrogate.build(n_estimators=4, seed=0)
+        assert model.predict_with_uncertainty_pool is not None
+        assert model.predict_pool is not None
+
+    def test_partial_update_supported(self, positive_data):
+        X, y = positive_data
+        model = ForestSurrogate.build(n_estimators=8, seed=0).fit(X[:40], y[:40])
+        model.update(X[40:], y[40:])
+        assert len(model.training_targets) == len(y)
+
+
+class TestDeterminism:
+    def test_gp_same_seed_same_predictions(self, positive_data):
+        X, y = positive_data
+        a = _fit("gp", X, y, seed=7).predict(X)
+        b = _fit("gp", X, y, seed=7).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_select_same_seed_same_choice_and_predictions(self, positive_data):
+        X, y = positive_data
+        a = _fit("select", X, y, seed=7)
+        b = _fit("select", X, y, seed=7)
+        assert a.chosen_name == b.chosen_name
+        assert a.cv_errors == b.cv_errors
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_stack_same_seed_same_weights_and_predictions(self, positive_data):
+        X, y = positive_data
+        a = _fit("stack", X, y, seed=7)
+        b = _fit("stack", X, y, seed=7)
+        assert np.array_equal(a.weights, b.weights)
+        mu_a, sd_a = a.predict_with_uncertainty(X)
+        mu_b, sd_b = b.predict_with_uncertainty(X)
+        assert np.array_equal(mu_a, mu_b) and np.array_equal(sd_a, sd_b)
+
+    def test_fold_assignment_depends_only_on_seed_and_size(self):
+        folds_a = fold_slices(30, 3, fold_seed=99)
+        folds_b = fold_slices(30, 3, fold_seed=99)
+        assert all(np.array_equal(fa, fb) for fa, fb in zip(folds_a, folds_b))
+        folds_c = fold_slices(30, 3, fold_seed=100)
+        assert any(
+            not np.array_equal(fa, fc) for fa, fc in zip(folds_a, folds_c)
+        )
+
+    def test_fold_slices_infeasible_cases(self):
+        assert fold_slices(2, 3, fold_seed=0) is None  # 1 training row left
+        assert fold_slices(3, 2, fold_seed=0) is None
+        assert fold_slices(1, 2, fold_seed=0) is None
+        folds = fold_slices(30, 3, fold_seed=0)
+        assert sorted(np.concatenate(folds)) == list(range(30))
+
+
+class TestSelect:
+    def test_cv_errors_cover_candidates(self, positive_data):
+        X, y = positive_data
+        model = _fit("select", X, y, seed=0)
+        assert set(model.cv_errors) == {"forest", "gp"}
+        assert model.chosen_name == min(
+            model.cv_errors, key=model.cv_errors.get
+        )
+
+    def test_falls_back_to_first_candidate_when_cv_infeasible(self):
+        X = np.array([[0.1, 0.2], [0.8, 0.9]])
+        y = np.array([1.0, 2.0])
+        model = _fit("select", X, y, seed=0)
+        assert model.chosen_name == "forest"
+        assert model.cv_errors == {}
+        assert model.predict(X).shape == (2,)
+
+    def test_brittle_candidate_scores_inf_not_abort(self, positive_data):
+        X, y = positive_data
+        # Negative targets break the log-target GP; select must still fit.
+        model = _fit("select", X, y - y.max() - 1.0, seed=0)
+        assert model.cv_errors["gp"] == float("inf")
+        assert model.chosen_name == "forest"
+
+
+class TestStack:
+    def test_weights_normalised(self, positive_data):
+        X, y = positive_data
+        model = _fit("stack", X, y, seed=0)
+        assert model.weights.shape == (2,)
+        assert model.weights.sum() == pytest.approx(1.0)
+        assert (model.weights > 0).all()
+
+    def test_disagreement_inflates_sigma(self, positive_data):
+        X, y = positive_data
+        model = _fit("stack", X, y, seed=0)
+        mu, sd = model.predict_with_uncertainty(X)
+        mus, sds = zip(
+            *(m.predict_with_uncertainty(X) for m in model.models)
+        )
+        w = model.weights[:, None]
+        within = np.sqrt((w * np.stack(sds) ** 2).sum(axis=0))
+        assert (sd >= within - 1e-12).all()
+        assert np.allclose(mu, (w * np.stack(mus)).sum(axis=0))
+
+    def test_equal_weights_when_cv_infeasible(self):
+        X = np.array([[0.1, 0.2], [0.8, 0.9], [0.4, 0.5]])
+        y = np.array([1.0, 2.0, 1.5])
+        model = _fit("stack", X, y, seed=0, k_folds=2)
+        assert np.allclose(model.weights, [0.5, 0.5])
+
+
+class TestTransfer:
+    def test_strong_prior_tracks_source(self, positive_data):
+        X, y = positive_data
+        source = _fit("forest", X, y, seed=0)
+        model = TransferSurrogate(
+            source=source,
+            prior_weight=1e9,
+            target_factory=lambda: ForestSurrogate.build(
+                n_estimators=4, seed=1
+            ),
+        ).fit(X[:10], np.full(10, 99.0))
+        assert np.allclose(model.predict(X), source.predict(X), rtol=1e-6)
+
+    def test_weak_prior_tracks_target(self, positive_data):
+        X, y = positive_data
+        source = _fit("forest", X, np.full_like(y, 123.0), seed=0)
+        model = TransferSurrogate(
+            source=source,
+            prior_weight=1e-9,
+            target_factory=lambda: ForestSurrogate.build(
+                n_estimators=8, seed=1
+            ),
+        ).fit(X, y)
+        target_only = ForestSurrogate.build(n_estimators=8, seed=1).fit(X, y)
+        assert np.allclose(model.predict(X), target_only.predict(X), rtol=1e-6)
+
+    def test_rejects_nonpositive_prior_weight(self):
+        with pytest.raises(ValueError, match="prior_weight"):
+            TransferSurrogate(source=ForestSurrogate.build(), prior_weight=0.0)
+
+
+class TestSerialization:
+    def _roundtrip(self, model: Surrogate) -> Surrogate:
+        return load_surrogate(io.BytesIO(surrogate_bytes(model)))
+
+    @pytest.mark.parametrize("name", ["forest", "gp", "select", "stack"])
+    def test_roundtrip_preserves_predictions(self, positive_data, name):
+        X, y = positive_data
+        model = _fit(name, X, y, seed=3)
+        loaded = self._roundtrip(model)
+        assert type(loaded) is type(model)
+        assert loaded.kind == name
+        mu_a, sd_a = model.predict_with_uncertainty(X)
+        mu_b, sd_b = loaded.predict_with_uncertainty(X)
+        assert np.allclose(mu_a, mu_b) and np.allclose(sd_a, sd_b)
+
+    def test_transfer_roundtrip(self, positive_data):
+        X, y = positive_data
+        source = _fit("forest", X, y, seed=0)
+        model = _fit("transfer", X[:30], y[:30], seed=1, source=source)
+        loaded = self._roundtrip(model)
+        assert isinstance(loaded, TransferSurrogate)
+        assert loaded.prior_weight == model.prior_weight
+        mu_a, sd_a = model.predict_with_uncertainty(X)
+        mu_b, sd_b = loaded.predict_with_uncertainty(X)
+        assert np.allclose(mu_a, mu_b) and np.allclose(sd_a, sd_b)
+
+    def test_select_roundtrip_keeps_choice_but_cannot_refit(self, positive_data):
+        X, y = positive_data
+        model = _fit("select", X, y, seed=3)
+        loaded = self._roundtrip(model)
+        assert loaded.chosen_name == model.chosen_name
+        assert loaded.cv_errors == model.cv_errors
+        with pytest.raises(RuntimeError, match="cannot refit"):
+            loaded.fit(X, y)
+
+    def test_classic_forest_file_loads_as_forest_surrogate(self, positive_data):
+        X, y = positive_data
+        forest = RandomForestRegressor(n_estimators=6, seed=0).fit(X, y)
+        buf = io.BytesIO()
+        save_forest(forest, buf)
+        buf.seek(0)
+        loaded = load_surrogate(buf)
+        assert isinstance(loaded, ForestSurrogate)
+        assert np.allclose(loaded.predict(X), forest.predict(X))
+
+    def test_forest_envelope_still_readable_by_load_forest(self, positive_data):
+        X, y = positive_data
+        model = _fit("forest", X, y, seed=0)
+        buf = io.BytesIO()
+        save_surrogate(model, buf)
+        buf.seek(0)
+        forest = load_forest(buf)
+        assert np.allclose(forest.predict(X), model.predict(X))
+
+    def test_unfitted_models_refuse_to_serialize(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            surrogate_bytes(GPSurrogate.build(seed=0))
+        source = ForestSurrogate.build(n_estimators=2, seed=0)
+        with pytest.raises(ValueError, match="unfitted"):
+            surrogate_bytes(TransferSurrogate(source=source))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ["gp", "select", "stack"])
+    def test_api_run_accepts_surrogate(self, tiny_scale, name):
+        result = repro.api.run(
+            "mvt", "pwu", seed=0, scale=tiny_scale, surrogate=name
+        )
+        assert int(result.history.n_train[-1]) == tiny_scale.n_max
+        assert np.isfinite(result.history.rmse_mean["0.05"]).all()
+
+    def test_api_run_bit_identical_across_jobs(self, tiny_scale, tmp_path):
+        kwargs = dict(seed=0, scale=tiny_scale, trials=2, surrogate="select")
+        serial = repro.api.run("mvt", "pwu", jobs=1, **kwargs)
+        parallel = repro.api.run(
+            "mvt", "pwu", jobs=2, batch_size=1,
+            cache_dir=str(tmp_path / "cache"), **kwargs
+        )
+        assert np.array_equal(serial.history.n_train, parallel.history.n_train)
+        assert np.array_equal(serial.history.cc_mean, parallel.history.cc_mean)
+        for key in serial.history.rmse_mean:
+            assert np.array_equal(
+                serial.history.rmse_mean[key], parallel.history.rmse_mean[key]
+            )
+
+    def test_unknown_surrogate_fails_fast(self, tiny_scale):
+        with pytest.raises(KeyError, match="did you mean"):
+            repro.api.run("mvt", "pwu", scale=tiny_scale, surrogate="forrest")
+
+    def test_forest_and_none_produce_identical_runs(self, tiny_scale):
+        default = repro.api.run("mvt", "pwu", seed=4, scale=tiny_scale)
+        explicit = repro.api.run(
+            "mvt", "pwu", seed=4, scale=tiny_scale, surrogate="forest"
+        )
+        assert np.array_equal(
+            default.history.cc_mean, explicit.history.cc_mean
+        )
+        for key in default.history.rmse_mean:
+            assert np.array_equal(
+                default.history.rmse_mean[key], explicit.history.rmse_mean[key]
+            )
+
+
+class TestCLI:
+    def test_list_shows_surrogates(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "surrogates" in out
+        for name in SURROGATE_NAMES:
+            assert name in out
+
+    def test_surrogate_flag_parsed(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["fig6", "--surrogate", "gp"])
+        assert args.surrogate == "gp"
+        assert build_parser().parse_args(["fig6"]).surrogate == "forest"

@@ -15,6 +15,7 @@ import pytest
 
 import repro.active.learner as learner_mod
 import repro.forest._cgrower as _cgrower
+import repro.surrogate.adapters as adapters_mod
 from repro.active import ActiveLearner, LearnerConfig
 from repro.forest import RandomForestRegressor, RegressionTree
 from repro.forest.uncertainty import across_tree_std, total_variance_std
@@ -169,7 +170,10 @@ def _run_learner(seed, strategy_name, forest_cls, disable_stat_reuse,
     )
     cfg = dict(n_init=8, n_batch=1, n_max=18, eval_every=3, n_estimators=6)
     cfg.update(cfg_overrides)
-    monkeypatch_ctx.setattr(learner_mod, "RandomForestRegressor", forest_cls)
+    # The learner builds its forest through the surrogate registry; the
+    # adapter module's constructor binding is the one seam to swap the
+    # reference implementation in.
+    monkeypatch_ctx.setattr(adapters_mod, "RandomForestRegressor", forest_cls)
     if disable_stat_reuse:
         monkeypatch_ctx.setattr(
             learner_mod, "consume_selection_stats", lambda *a: None
