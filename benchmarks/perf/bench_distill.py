@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Distilled-workload microbenchmarks: frozen-surface evaluation cost.
+
+Times what distillation (DESIGN.md §2j) buys and writes the results to
+``BENCH_distill.json``:
+
+* ``oracle`` — wall-clock of one pool-sized
+  :meth:`~repro.workloads.base.Benchmark.evaluate_batch` call on the
+  source benchmark vs its distilled envelope.  Both are cheap in this
+  reproduction (the source "kernels" are closed-form cost models), so
+  this ratio is reported honestly in whichever direction it falls — the
+  distilled path pays a forest traversal where the source pays its
+  closed form plus a 35x larger noise draw.
+* ``modeled`` — the number that motivates distillation in the first
+  place: the execution time the source *protocol models* for the same
+  campaign (true seconds per configuration x ``n_repeats`` actual runs,
+  which is what the paper's tuner spends on real hardware) vs the
+  wall-clock of evaluating the frozen envelope.  Distilled workloads
+  replace measured executions with model lookups; the acceptance bar is
+  >= 20x here, and in practice the ratio is many orders of magnitude.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_distill.py [--quick] \
+        [--output BENCH_distill.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.workloads import distill_workload, get_benchmark
+
+PAPER = dict(benchmark="atax", n_configs=7000, budget=1000, trees=16, repeats=5)
+QUICK = dict(benchmark="atax", n_configs=1200, budget=200, trees=8, repeats=2)
+
+
+def _best_wall(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench(params: dict) -> dict:
+    source = get_benchmark(params["benchmark"])
+    frozen = distill_workload(
+        source,
+        budget=params["budget"],
+        seed=0,
+        n_estimators=params["trees"],
+    )
+    X = source.space.sample_encoded(
+        np.random.default_rng(0), params["n_configs"]
+    )
+
+    source_wall = _best_wall(
+        lambda: source.evaluate_batch(X, np.random.default_rng(1)),
+        params["repeats"],
+    )
+    frozen_wall = _best_wall(
+        lambda: frozen.evaluate_batch(X, np.random.default_rng(1)),
+        params["repeats"],
+    )
+    # What the source protocol *models*: n_repeats real executions per
+    # configuration, each taking its true time on the machine.
+    modeled_source_sec = float(
+        source.true_times_encoded(X).sum() * source.protocol.n_repeats
+    )
+    return {
+        "benchmark": params["benchmark"],
+        "n_configs": params["n_configs"],
+        "distill_budget": params["budget"],
+        "oracle": {
+            "source_sec": source_wall,
+            "distilled_sec": frozen_wall,
+            "ratio_source_over_distilled": source_wall / frozen_wall,
+        },
+        "modeled": {
+            "modeled_source_sec": modeled_source_sec,
+            "distilled_wall_sec": frozen_wall,
+            "speedup": modeled_source_sec / frozen_wall,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small scale for CI smoke runs (the modeled floor still applies)",
+    )
+    ap.add_argument("--output", default="BENCH_distill.json")
+    ap.add_argument(
+        "--min-modeled-speedup", type=float, default=20.0,
+        help="fail (exit 1) below this modeled-measurement vs frozen-"
+        "envelope speedup",
+    )
+    args = ap.parse_args(argv)
+
+    result = {
+        "schema": "repro.bench_distill/v1",
+        **bench(QUICK if args.quick else PAPER),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    oracle = result["oracle"]
+    modeled = result["modeled"]
+    print(
+        f"oracle: {result['benchmark']} x{result['n_configs']}   "
+        f"source {oracle['source_sec'] * 1e3:.2f} ms   "
+        f"distilled {oracle['distilled_sec'] * 1e3:.2f} ms   "
+        f"ratio {oracle['ratio_source_over_distilled']:.2f}x"
+    )
+    print(
+        f"modeled: {modeled['modeled_source_sec']:.1f} s of modeled "
+        f"execution replaced by {modeled['distilled_wall_sec'] * 1e3:.2f} ms "
+        f"of envelope evaluation ({modeled['speedup']:.0f}x)"
+    )
+    print(f"wrote {args.output}")
+
+    if modeled["speedup"] < args.min_modeled_speedup:
+        print(
+            f"FAIL: modeled speedup {modeled['speedup']:.2f}x is below the "
+            f"{args.min_modeled_speedup:.1f}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

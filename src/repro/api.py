@@ -31,7 +31,15 @@ from repro.experiments.runner import DEFAULT_ALPHAS, comparison_traces, strategy
 from repro.sampling import get_strategy
 from repro.surrogate import surrogate_entry
 
-__all__ = ["RunResult", "CompareResult", "run", "compare", "serve", "connect"]
+__all__ = [
+    "RunResult",
+    "CompareResult",
+    "run",
+    "compare",
+    "distill",
+    "serve",
+    "connect",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -313,6 +321,46 @@ def compare(
         metrics={name: _trace_metrics(t) for name, t in traces.items()},
         trace_path=trace_path,
     )
+
+
+def distill(
+    workload: str,
+    *,
+    surrogate: str = "forest",
+    budget: int = 512,
+    seed: int = 0,
+    noise: str = "protocol",
+    n_estimators: int = 30,
+    name: "str | None" = None,
+    out: "str | None" = None,
+):
+    """Freeze ``workload`` into a distilled surrogate benchmark.
+
+    Runs the distillation campaign (see
+    :func:`repro.workloads.distill_workload`), optionally saves the
+    ``.npz`` envelope to ``out``, and returns the live
+    :class:`~repro.workloads.SurrogateBenchmark`.  A saved envelope runs
+    anywhere a workload name does — ``repro.api.run("surrogate:out.npz",
+    ...)``, the CLI, the figure harness, and service session specs.
+    Equivalent to ``repro distill``.
+
+    >>> bench = repro.api.distill("atax", budget=300, out="atax.npz")  # doctest: +SKIP
+    >>> repro.api.run("surrogate:atax.npz", "pwu", scale="smoke")      # doctest: +SKIP
+    """
+    from repro.workloads import distill_workload, get_benchmark, save_distilled
+
+    bench = distill_workload(
+        get_benchmark(workload),
+        surrogate=surrogate,
+        budget=budget,
+        seed=seed,
+        noise=noise,
+        n_estimators=n_estimators,
+        name=name,
+    )
+    if out is not None:
+        save_distilled(bench, out)
+    return bench
 
 
 def serve(

@@ -147,6 +147,80 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list benchmarks and strategies")
     sub.add_parser("tables", help="print Tables I-IV")
 
+    pd = sub.add_parser(
+        "distill",
+        help="freeze a workload into a distilled surrogate benchmark "
+        "(.npz envelope runnable via surrogate:<file>)",
+    )
+    pd.add_argument(
+        "workload", help="source benchmark name (e.g. atax or kernel:atax)"
+    )
+    pd.add_argument(
+        "--surrogate",
+        default="forest",
+        metavar="NAME",
+        help="surrogate family to distill into (default: forest)",
+    )
+    pd.add_argument(
+        "--budget",
+        type=int,
+        default=512,
+        metavar="N",
+        help="configurations measured in the distillation campaign",
+    )
+    pd.add_argument("--seed", type=int, default=0)
+    pd.add_argument(
+        "--noise",
+        choices=("protocol", "residual", "exact", "none"),
+        default="protocol",
+        help="noise model stamped on the frozen surface (default: protocol "
+        "= the source's repeat-averaged sigma in one draw)",
+    )
+    pd.add_argument(
+        "--n-estimators",
+        type=int,
+        default=30,
+        metavar="K",
+        help="trees in the distilled forest (forest-family surrogates)",
+    )
+    pd.add_argument(
+        "--name",
+        default=None,
+        help="benchmark name stamped in the envelope "
+        "(default: <source>-<surrogate>)",
+    )
+    pd.add_argument(
+        "-o",
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="output .npz envelope path",
+    )
+
+    pr = add(
+        "run",
+        "run one or more strategies on any workload "
+        "(including surrogate:<file.npz> and distilled:<name>)",
+    )
+    pr.add_argument(
+        "workload", help="benchmark name, surrogate:<file.npz>, or distilled:<name>"
+    )
+    pr.add_argument(
+        "--strategy",
+        nargs="+",
+        default=["pwu"],
+        metavar="NAME",
+        help="strategy name(s); several names run as one comparison "
+        "(default: pwu)",
+    )
+    pr.add_argument(
+        "--budget", type=int, default=None, help="override the scale's n_max"
+    )
+    pr.add_argument(
+        "--trials", type=int, default=None, help="override the scale's n_trials"
+    )
+    pr.add_argument("--alpha", type=float, default=0.05)
+
     ps = sub.add_parser(
         "serve",
         help="run the tuning service daemon (JSON-over-HTTP suggest/report)",
@@ -232,6 +306,29 @@ def main(argv: "list[str] | None" = None) -> int:
 
         return run_from_args(args)
 
+    if args.command == "distill":
+        from repro import api
+
+        bench = api.distill(
+            args.workload,
+            surrogate=args.surrogate,
+            budget=args.budget,
+            seed=args.seed,
+            noise=args.noise,
+            n_estimators=args.n_estimators,
+            name=args.name,
+            out=args.out,
+        )
+        prov = bench.provenance
+        print(
+            f"distilled {prov['source']} -> {args.out} "
+            f"[{prov['surrogate']}, budget={prov['budget']}, "
+            f"seed={prov['seed']}, noise={prov['noise_mode']}, "
+            f"fit_rmse_log={prov['fit_rmse_log']:.4f}]"
+        )
+        print(f"run it:   repro run surrogate:{args.out}")
+        return 0
+
     if args.command == "serve":
         import dataclasses as _dc
 
@@ -254,10 +351,21 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.command == "list":
         from repro.surrogate import SURROGATE_NAMES, available_surrogates
+        from repro.workloads import zoo_entries
 
+        zoo = zoo_entries()
         extras = [s for s in available_strategies() if s not in STRATEGY_NAMES]
         sur_extras = [s for s in available_surrogates() if s not in SURROGATE_NAMES]
-        print("benchmarks:", ", ".join(all_benchmarks()))
+        print(
+            "benchmarks:",
+            ", ".join(n for n in all_benchmarks() if n not in zoo),
+        )
+        if zoo:
+            print(
+                "distilled: ",
+                ", ".join(zoo),
+                "(+ surrogate:<file.npz> for any envelope)",
+            )
         print("strategies:", ", ".join(STRATEGY_NAMES),
               f"(+ variants: {', '.join(extras)})" if extras else "")
         print("surrogates:", ", ".join(SURROGATE_NAMES),
@@ -316,6 +424,9 @@ def _dispatch(args, figures) -> int:
     scale = SCALES[args.scale]
     out = args.out_dir
     surrogate = getattr(args, "surrogate", "forest")
+
+    if args.command == "run":
+        return _run_command(args, scale, out, surrogate)
 
     if args.command == "fig2":
         f2, f3 = figures.fig2_fig3(
@@ -393,6 +504,50 @@ def _dispatch(args, figures) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _run_command(args, scale, out: "str | None", surrogate: str) -> int:
+    """``repro run``: one workload, one or more strategies, plain output."""
+    from repro import api
+
+    strategies = list(args.strategy)
+    common = dict(
+        seed=args.seed,
+        scale=scale,
+        budget=args.budget,
+        trials=args.trials,
+        alpha=args.alpha,
+        surrogate=surrogate,
+    )
+    if len(strategies) == 1:
+        result = api.run(args.workload, strategies[0], **common)
+        metrics = {strategies[0]: result.metrics}
+    else:
+        result = api.compare(args.workload, tuple(strategies), **common)
+        metrics = result.metrics
+    print(f"workload: {args.workload}  seed: {args.seed}")
+    for name in strategies:
+        m = metrics[name]
+        rmse = ", ".join(f"a={k}: {v:.4f}" for k, v in m["final_rmse"].items())
+        print(
+            f"  {name:<8} final RMSE {rmse}  "
+            f"cost {m['final_cost']:.3f}s  trials {m['n_trials']}"
+        )
+    if out:
+        os.makedirs(out, exist_ok=True)
+        slug = args.workload.replace(":", "-").replace("/", "-").replace(".", "-")
+        path = os.path.join(out, f"run-{slug}.json")
+        dump_json(
+            {
+                "workload": args.workload,
+                "strategies": strategies,
+                "seed": args.seed,
+                "metrics": metrics,
+            },
+            path,
+        )
+        print(f"[written {path}]")
+    return 0
 
 
 def _trace_from_dict(d: dict):

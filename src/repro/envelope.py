@@ -1,0 +1,96 @@
+"""Typed loading of ``.npz`` envelopes (forests, surrogates, workloads).
+
+Every persistence format in this package is a flat ``.npz`` archive with
+a schema stamp: the forest format (:mod:`repro.forest.serialize`), the
+surrogate envelope (:mod:`repro.surrogate.serialize`), and the distilled
+workload envelope (:mod:`repro.workloads.surrogate`).  All three loaders
+route file I/O through :func:`read_npz_payload`, so a truncated download,
+a stray text file, or an archive missing its schema keys surfaces as one
+typed, actionable :class:`EnvelopeError` — naming the file and the
+expected schema — instead of leaking ``zipfile.BadZipFile`` / ``KeyError``
+internals to callers (the tuning service turns it into a clean 400).
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+import zlib
+
+import numpy as np
+
+__all__ = ["EnvelopeError", "read_npz_payload", "require_keys", "describe_file"]
+
+
+class EnvelopeError(ValueError):
+    """A ``.npz`` envelope that cannot be read or fails its schema.
+
+    ``source`` names what was being read (a path, or a description of an
+    in-memory buffer), ``expected`` the schema the loader wanted, and
+    ``detail`` what actually went wrong.  The rendered message carries all
+    three so the error is actionable without a traceback.
+    """
+
+    def __init__(self, source: str, expected: str, detail: str) -> None:
+        super().__init__(
+            f"{source}: cannot load as {expected} — {detail}"
+        )
+        self.source = source
+        self.expected = expected
+        self.detail = detail
+
+
+def describe_file(file) -> str:
+    """A human-readable identity for ``file`` (path or file object)."""
+    if isinstance(file, (str, bytes)):
+        return file.decode() if isinstance(file, bytes) else file
+    name = getattr(file, "name", None)
+    if isinstance(name, str):
+        return name
+    if isinstance(file, io.BytesIO):
+        return "<in-memory bytes>"
+    return f"<{type(file).__name__}>"
+
+
+def read_npz_payload(file, expected: str) -> "dict[str, np.ndarray]":
+    """Read every array of an ``.npz`` archive into a flat dict.
+
+    ``expected`` describes the schema the caller wants (e.g. ``"a repro
+    surrogate envelope (.npz, surrogate_schema <= 1)"``) and is embedded in
+    the :class:`EnvelopeError` raised for any unreadable file: missing,
+    truncated, not a zip archive, corrupt members, or pickled content.
+    """
+    source = describe_file(file)
+    try:
+        with np.load(file, allow_pickle=False) as data:
+            return {key: np.asarray(data[key]) for key in data.files}
+    except FileNotFoundError as exc:
+        raise EnvelopeError(source, expected, "file not found") from exc
+    except IsADirectoryError as exc:
+        raise EnvelopeError(source, expected, "path is a directory") from exc
+    except (zipfile.BadZipFile, zlib.error) as exc:
+        raise EnvelopeError(
+            source, expected, f"not a readable npz archive ({exc})"
+        ) from exc
+    except EOFError as exc:
+        raise EnvelopeError(
+            source, expected, f"file is empty or truncated ({exc})"
+        ) from exc
+    except (ValueError, KeyError, OSError) as exc:
+        raise EnvelopeError(
+            source, expected, f"corrupt or foreign file ({exc})"
+        ) from exc
+
+
+def require_keys(
+    payload: "dict[str, np.ndarray]", keys, source: str, expected: str
+) -> None:
+    """Raise :class:`EnvelopeError` naming any schema key absent from ``payload``."""
+    missing = [k for k in keys if k not in payload]
+    if missing:
+        raise EnvelopeError(
+            source,
+            expected,
+            f"archive is missing required key(s) {', '.join(missing)} "
+            f"(present: {', '.join(sorted(payload)) or 'none'})",
+        )

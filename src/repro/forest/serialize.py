@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.envelope import EnvelopeError, describe_file, read_npz_payload, require_keys
 from repro.forest.forest import RandomForestRegressor
 from repro.forest.packed import FIELDS, PackedForest
 from repro.forest.tree import RegressionTree
@@ -106,12 +107,29 @@ def forest_from_payload(data) -> RandomForestRegressor:
     return model
 
 
+#: What a forest loader expects, embedded in every EnvelopeError it raises.
+_EXPECTED = (
+    f"a repro forest .npz (format_version <= {_FORMAT_VERSION}, "
+    "packed node arrays; see repro.forest.serialize)"
+)
+
+
 def load_forest(path: str) -> RandomForestRegressor:
     """Load a forest saved by :func:`save_forest` (format 1 or 2).
 
     The returned model predicts (with uncertainty) but holds no training
     data, so it cannot be :meth:`~RandomForestRegressor.update`-d; refit
-    from data if you need to keep learning.
+    from data if you need to keep learning.  Missing, truncated, or
+    foreign files raise a typed :class:`~repro.envelope.EnvelopeError`
+    naming the file and the expected schema (never a raw
+    ``zipfile.BadZipFile`` or ``KeyError``).
     """
-    with np.load(path, allow_pickle=False) as data:
-        return forest_from_payload(data)
+    source = describe_file(path)
+    payload = read_npz_payload(path, _EXPECTED)
+    require_keys(payload, ("format_version",), source, _EXPECTED)
+    try:
+        return forest_from_payload(payload)
+    except KeyError as exc:
+        raise EnvelopeError(
+            source, _EXPECTED, f"archive is missing required key {exc.args[0]!r}"
+        ) from None

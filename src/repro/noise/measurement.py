@@ -57,11 +57,26 @@ class MeasurementProtocol:
         if self.outlier_scale < 1.0:
             raise ValueError("outliers slow runs down: outlier_scale must be >= 1")
 
+    @property
+    def is_exact(self) -> bool:
+        """Whether observations are bit-identical to the true times.
+
+        A protocol with no jitter and no outliers observes the surface
+        exactly; :meth:`observe` then consumes no randomness and performs
+        no repeat-averaging (whose sum/divide round-off would otherwise
+        perturb the last bits even with every draw equal to 1.0).
+        Distilled workloads use this for fully deterministic regression
+        surfaces.
+        """
+        return self.noise_sigma == 0.0 and self.outlier_prob == 0.0
+
     def observe(self, true_times: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Observed (repeat-averaged) times for a vector of true times."""
         t = np.atleast_1d(np.asarray(true_times, dtype=np.float64))
         if np.any(t <= 0):
             raise ValueError("true execution times must be positive")
+        if self.is_exact:
+            return t.copy()
         n = len(t)
         shape = (n, self.n_repeats)
         eps = np.exp(rng.normal(0.0, self.noise_sigma, size=shape))
@@ -74,6 +89,25 @@ class MeasurementProtocol:
 
     def observe_one(self, true_time: float, rng: np.random.Generator) -> float:
         return float(self.observe(np.asarray([true_time]), rng)[0])
+
+    # -- serialization (distilled-workload envelopes) ----------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form, round-tripped by :meth:`from_dict`."""
+        return {
+            "n_repeats": int(self.n_repeats),
+            "noise_sigma": float(self.noise_sigma),
+            "outlier_prob": float(self.outlier_prob),
+            "outlier_scale": float(self.outlier_scale),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MeasurementProtocol":
+        return cls(
+            n_repeats=int(payload["n_repeats"]),
+            noise_sigma=float(payload["noise_sigma"]),
+            outlier_prob=float(payload["outlier_prob"]),
+            outlier_scale=float(payload["outlier_scale"]),
+        )
 
 
 #: Kernel protocol: 35 repeats (paper, Section III-B), noticeable jitter.

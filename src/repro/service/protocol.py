@@ -184,18 +184,28 @@ class SessionSpec:
         return spec
 
     def validate_names(self) -> None:
-        """Check benchmark/strategy/surrogate names against their registries."""
+        """Check benchmark/strategy/surrogate names against their registries.
+
+        The workload check *resolves* the name (it is the buildability
+        probe for ``surrogate:<path>`` / ``distilled:<stem>`` envelope
+        workloads), so a typo'd name or an unreadable envelope file fails
+        the ``POST /v1/sessions`` with a 400 ``unknown_workload`` — with
+        a did-you-mean for registry names and the typed envelope
+        diagnosis for files — instead of surfacing as a 500 ``KeyError``
+        on the first suggest/measure call.
+        """
+        from repro.envelope import EnvelopeError
         from repro.sampling import available_strategies
         from repro.surrogate import available_surrogates
-        from repro.workloads import all_benchmarks
+        from repro.workloads import get_benchmark
 
-        if self.benchmark not in all_benchmarks():
-            raise ProtocolError(
-                400,
-                "unknown_benchmark",
-                f"unknown benchmark {self.benchmark!r}; "
-                f"choose from {', '.join(all_benchmarks())}",
-            )
+        try:
+            get_benchmark(self.benchmark)
+        except KeyError as exc:
+            # NameRegistry's KeyError already carries a closest-match hint.
+            raise ProtocolError(400, "unknown_workload", str(exc.args[0])) from exc
+        except EnvelopeError as exc:
+            raise ProtocolError(400, "unknown_workload", str(exc)) from exc
         if self.strategy not in available_strategies():
             raise ProtocolError(
                 400,

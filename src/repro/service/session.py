@@ -56,6 +56,7 @@ from repro.workloads import get_benchmark
 __all__ = [
     "Session",
     "build_learner",
+    "cached_benchmark",
     "measure_round",
     "offline_reference",
     "run_server_session",
@@ -64,13 +65,26 @@ __all__ = [
 META_NAME = "meta.json"
 JOURNAL_NAME = "journal.jsonl"
 
-#: Per-process memo of measurement benchmarks, keyed by name.  The
-#: server-evaluated driver calls :func:`measure_round` once per round;
-#: re-instantiating the benchmark (space construction, solver tables)
-#: every round dominated small batches.  Benchmarks are stateless with
-#: respect to measurement — the same instance serves every round and
-#: every session measuring that benchmark.
-_MEASURE_BENCHMARKS: "dict[str, object]" = {}
+#: Per-process memo of resolved benchmarks, keyed by name.  Suggest
+#: decodes configurations and :func:`measure_round` measures them once
+#: per round; re-instantiating the benchmark (space construction, solver
+#: tables — or, for ``surrogate:<path>`` workloads, re-reading and
+#: re-deserializing the envelope file) every call dominated small
+#: batches, and a distilled envelope deleted mid-session would turn into
+#: a 500 on the next suggest.  Benchmarks are stateless with respect to
+#: measurement — the same instance serves every round and every session
+#: naming that benchmark.
+_BENCHMARKS: "dict[str, object]" = {}
+
+
+def cached_benchmark(name: str):
+    """Resolve ``name`` through the per-process benchmark memo."""
+    benchmark = _BENCHMARKS.get(name)
+    if benchmark is None:
+        benchmark = get_benchmark(name)
+        # repro: allow[SPAWN001] per-process memo of a stateless benchmark; sessions measure under their own locks
+        _BENCHMARKS[name] = benchmark
+    return benchmark
 
 
 def _no_oracle(X) -> "np.ndarray":
@@ -94,7 +108,7 @@ def build_learner(spec: SessionSpec) -> ActiveLearner:
     ``derive(seed, "learner")`` — so equal specs always produce equal
     suggestion streams.
     """
-    benchmark = get_benchmark(spec.benchmark)
+    benchmark = cached_benchmark(spec.benchmark)
     scale = spec.to_scale()
     pool, X_test, y_test = prepare_data(benchmark, scale, seed=spec.seed)
     return ActiveLearner(
@@ -125,11 +139,7 @@ def measure_round(spec: SessionSpec, X: np.ndarray, round_index: int) -> np.ndar
     bit-identical: one fused call with the round's fresh generator is
     exactly what the previous code computed.
     """
-    benchmark = _MEASURE_BENCHMARKS.get(spec.benchmark)
-    if benchmark is None:
-        benchmark = get_benchmark(spec.benchmark)
-        # repro: allow[SPAWN001] per-process memo of a stateless benchmark; sessions measure under their own locks
-        _MEASURE_BENCHMARKS[spec.benchmark] = benchmark
+    benchmark = cached_benchmark(spec.benchmark)
     rng = derive(spec.seed, "oracle", round_index)
     return benchmark.evaluate_batch(np.asarray(X, dtype=np.float64), rng)
 
@@ -316,7 +326,7 @@ class Session:
             if not outstanding:
                 self._pending_n = n
             _, X = self.learner.pending
-            benchmark = get_benchmark(self.spec.benchmark)
+            benchmark = cached_benchmark(self.spec.benchmark)
             counters.inc("service.suggests")
             return {
                 "id": self.id,

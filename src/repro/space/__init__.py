@@ -24,8 +24,11 @@ from repro.space.parameters import (
 from repro.space.constraints import Constraint
 from repro.space.space import Configuration, ParameterSpace
 from repro.space.pool import DataPool
+from repro.space.serialize import space_from_dict, space_to_dict
 
 __all__ = [
+    "space_to_dict",
+    "space_from_dict",
     "Parameter",
     "IntegerParameter",
     "OrdinalParameter",

@@ -22,11 +22,13 @@ import io
 
 import numpy as np
 
+from repro.envelope import EnvelopeError, describe_file, read_npz_payload
 from repro.surrogate.base import Surrogate
 
 __all__ = [
     "save_surrogate",
     "load_surrogate",
+    "surrogate_from_payload",
     "surrogate_bytes",
     "embed_blob",
     "extract_blob",
@@ -82,16 +84,24 @@ def surrogate_bytes(model: Surrogate) -> bytes:
     return buf.getvalue()
 
 
-def load_surrogate(file) -> Surrogate:
-    """Load any surrogate envelope (or a classic forest npz) from ``file``.
+#: What the surrogate loader expects, embedded in its EnvelopeErrors.
+_EXPECTED = (
+    f"a repro surrogate .npz envelope (surrogate_schema <= "
+    f"{SURROGATE_SCHEMA_VERSION}, or a classic save_forest file; "
+    "see repro.surrogate.serialize)"
+)
 
-    Dispatches on the ``surrogate_kind`` stamp; files predating the
-    envelope (plain :func:`~repro.forest.serialize.save_forest` output)
-    load as forest surrogates.  The returned model predicts but holds no
-    training data, so it cannot keep learning.
+
+def surrogate_from_payload(
+    payload: "dict[str, np.ndarray]", source: str = "<payload>"
+) -> Surrogate:
+    """Rebuild a surrogate from an already-read envelope payload dict.
+
+    Dispatches on the ``surrogate_kind`` stamp; payloads predating the
+    envelope (plain :func:`~repro.forest.serialize.save_forest` arrays)
+    rebuild as forest surrogates.  Shared by :func:`load_surrogate` and
+    the distilled-workload loader (whose envelope is a superset).
     """
-    with np.load(file, allow_pickle=False) as data:
-        payload = {key: data[key] for key in data.files}
     kind = str(payload.get("surrogate_kind", "forest"))
     schema = int(payload.get("surrogate_schema", SURROGATE_SCHEMA_VERSION))
     if schema > SURROGATE_SCHEMA_VERSION:
@@ -107,4 +117,26 @@ def load_surrogate(file) -> Surrogate:
             f"unknown surrogate kind {kind!r} in envelope "
             f"(known: {', '.join(sorted(classes))})"
         ) from None
-    return cls.deserialize(payload)
+    try:
+        return cls.deserialize(payload)
+    except KeyError as exc:
+        raise EnvelopeError(
+            source,
+            _EXPECTED,
+            f"{kind!r} envelope is missing required key {exc.args[0]!r}",
+        ) from None
+
+
+def load_surrogate(file) -> Surrogate:
+    """Load any surrogate envelope (or a classic forest npz) from ``file``.
+
+    Dispatches on the ``surrogate_kind`` stamp; files predating the
+    envelope (plain :func:`~repro.forest.serialize.save_forest` output)
+    load as forest surrogates.  The returned model predicts but holds no
+    training data, so it cannot keep learning.  Unreadable files —
+    missing, truncated, not an npz archive, or missing schema keys —
+    raise a typed :class:`~repro.envelope.EnvelopeError` naming the file
+    and the expected schema.
+    """
+    payload = read_npz_payload(file, _EXPECTED)
+    return surrogate_from_payload(payload, source=describe_file(file))

@@ -10,5 +10,22 @@ machinery only ever sees this interface, exactly as the method only sees
 
 from repro.workloads.base import Benchmark
 from repro.workloads.registry import all_benchmarks, get_benchmark, register_benchmark
+from repro.workloads.surrogate import (
+    SurrogateBenchmark,
+    distill_workload,
+    load_distilled,
+    save_distilled,
+    zoo_entries,
+)
 
-__all__ = ["Benchmark", "all_benchmarks", "get_benchmark", "register_benchmark"]
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "get_benchmark",
+    "register_benchmark",
+    "SurrogateBenchmark",
+    "distill_workload",
+    "load_distilled",
+    "save_distilled",
+    "zoo_entries",
+]

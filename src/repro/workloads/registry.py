@@ -4,6 +4,19 @@ The experiment drivers look benchmarks up by name ("atax", "kripke", ...);
 the kernel and application modules register factories at import time.
 Factories (rather than instances) keep registry imports cheap and let each
 experiment own a fresh benchmark object.
+
+Beyond plain registered names, :func:`get_benchmark` resolves two
+prefixed forms (see :mod:`repro.workloads.surrogate`):
+
+``surrogate:<path.npz>``
+    loads a distilled-workload envelope straight from a file — nothing
+    to register, so ad-hoc distillations work everywhere a name does;
+``distilled:<stem>``
+    a distilled envelope committed to the zoo (``benchmarks/distilled/``
+    at the repository root), registered lazily at first lookup.
+
+Alias prefixes ``kernel:`` and ``app:`` strip to the plain name, so CLI
+examples like ``kernel:atax`` resolve too.
 """
 
 from __future__ import annotations
@@ -17,6 +30,9 @@ __all__ = ["register_benchmark", "get_benchmark", "all_benchmarks"]
 
 _REGISTRY = NameRegistry("benchmark")
 
+#: Prefixes that are plain aliases for the bare registered name.
+_ALIAS_PREFIXES = ("kernel:", "app:")
+
 
 def register_benchmark(
     name: str, factory: Callable[[], Benchmark], overwrite: bool = False
@@ -26,17 +42,28 @@ def register_benchmark(
 
 
 def get_benchmark(name: str) -> Benchmark:
-    """Instantiate the benchmark registered under ``name``.
+    """Instantiate the benchmark named ``name``.
 
-    Unknown names raise :class:`KeyError` with a closest-match
-    suggestion.
+    Accepts registered names ("atax"), ``kernel:``/``app:`` aliases,
+    ``surrogate:<path.npz>`` distilled-envelope files, and zoo names
+    (``distilled:<stem>``).  Unknown names raise :class:`KeyError` with a
+    closest-match suggestion; unreadable envelope files raise a typed
+    :class:`~repro.envelope.EnvelopeError`.
     """
+    from repro.workloads.surrogate import FILE_PREFIX, load_distilled
+
+    if name.startswith(FILE_PREFIX):
+        return load_distilled(name[len(FILE_PREFIX) :])
+    for prefix in _ALIAS_PREFIXES:
+        if name.startswith(prefix):
+            name = name[len(prefix) :]
+            break
     _ensure_loaded()
     return _REGISTRY.get(name)()
 
 
 def all_benchmarks() -> tuple[str, ...]:
-    """Names of all registered benchmarks (kernels first, then apps).
+    """Names of all registered benchmarks (kernels, apps, then the zoo).
 
     The order is canonical — independent of which registering module
     happened to be imported first.
@@ -50,7 +77,26 @@ def all_benchmarks() -> tuple[str, ...]:
     return tuple(canonical)
 
 
+_ZOO_SCANNED = False
+
+
 def _ensure_loaded() -> None:
     # Import for the side effect of registration; deferred to avoid cycles.
     import repro.kernels  # noqa: F401
     import repro.apps  # noqa: F401
+
+    global _ZOO_SCANNED
+    if _ZOO_SCANNED:
+        return
+    # repro: allow[SPAWN001] one-shot scan guard; the zoo directory is immutable per checkout and the scan is deterministic, so every worker process converges to the same registry
+    _ZOO_SCANNED = True
+    from repro.workloads.surrogate import load_distilled, zoo_entries
+
+    for zoo_name, path in zoo_entries().items():
+        if zoo_name in _REGISTRY:
+            continue
+
+        def _load(p=path) -> Benchmark:
+            return load_distilled(p)
+
+        _REGISTRY.register(zoo_name, _load)

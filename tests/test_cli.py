@@ -137,3 +137,77 @@ class TestCommands:
             ["fig2", "--scale", "smoke", "--kernels", "mvt", "--no-progress"]
         ) == 0
         assert "[engine]" not in capsys.readouterr().err
+
+
+class TestDistillAndRun:
+    def test_distill_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["distill", "atax"])
+
+    def test_distill_then_run_the_envelope(self, capsys, tmp_path, monkeypatch):
+        """The acceptance path: distill a kernel, then run strategies
+        against the frozen envelope via the surrogate: prefix."""
+        from repro.cli import SCALES
+        from repro.experiments.config import ExperimentScale
+
+        monkeypatch.setitem(
+            SCALES,
+            "smoke",
+            ExperimentScale(
+                name="smoke",
+                pool_size=150,
+                test_size=120,
+                n_init=8,
+                n_max=14,
+                n_trials=1,
+                eval_every=6,
+                n_estimators=6,
+            ),
+        )
+        out = tmp_path / "d.npz"
+        code = main(
+            ["distill", "kernel:atax", "--surrogate", "forest",
+             "--budget", "120", "--n-estimators", "4", "-o", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "distilled atax" in capsys.readouterr().out
+
+        code = main(
+            ["run", f"surrogate:{out}", "--scale", "smoke",
+             "--no-progress", "-o", str(tmp_path / "results")]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "pwu" in printed and "final RMSE" in printed
+        written = list((tmp_path / "results").glob("run-*.json"))
+        assert len(written) == 1
+        payload = json.loads(written[0].read_text())
+        assert payload["workload"] == f"surrogate:{out}"
+        assert "pwu" in payload["metrics"]
+
+    def test_run_multiple_strategies_compares(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import SCALES
+        from repro.experiments.config import ExperimentScale
+
+        monkeypatch.setitem(
+            SCALES,
+            "smoke",
+            ExperimentScale(
+                name="smoke",
+                pool_size=120,
+                test_size=100,
+                n_init=8,
+                n_max=12,
+                n_trials=1,
+                eval_every=6,
+                n_estimators=5,
+            ),
+        )
+        code = main(
+            ["run", "mvt", "--strategy", "random", "pwu",
+             "--scale", "smoke", "--no-progress"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "random" in printed and "pwu" in printed

@@ -45,4 +45,10 @@ class TestAllBenchmarksBasicContract:
         for name in all_benchmarks():
             bench = get_benchmark(name)
             assert bench.space.size() > 100, name
-            assert bench.name == name
+            if name.startswith("distilled:"):
+                # Zoo entries resolve to the stamped envelope name so the
+                # prepare-split derivation is independent of the load path
+                # (``distilled:<stem>`` vs ``surrogate:<file>``).
+                assert name == f"distilled:{bench.name}", name
+            else:
+                assert bench.name == name

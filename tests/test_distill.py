@@ -1,0 +1,233 @@
+"""Distilled surrogate workloads: round trip, determinism, typed failures.
+
+The envelope contract under test (DESIGN.md §2j): a distilled workload is
+one ``.npz`` holding a surrogate envelope plus the ``workload_meta`` JSON
+blob (space, noise, provenance).  The frozen surface must be bit-stable —
+across save/load, across processes, and across ``jobs`` — and anything
+unreadable must fail with a typed :class:`~repro.envelope.EnvelopeError`,
+never a raw ``zipfile``/``KeyError`` traceback.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+import repro.api
+from repro.envelope import EnvelopeError
+from repro.noise import MeasurementProtocol
+from repro.space import space_from_dict, space_to_dict
+from repro.workloads import (
+    SurrogateBenchmark,
+    distill_workload,
+    get_benchmark,
+    load_distilled,
+    save_distilled,
+)
+
+
+@pytest.fixture(scope="module")
+def distilled():
+    return distill_workload(
+        get_benchmark("atax"), surrogate="forest", budget=150, seed=11,
+        n_estimators=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def envelope_path(distilled, tmp_path_factory):
+    path = tmp_path_factory.mktemp("distill") / "atax.npz"
+    save_distilled(distilled, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_surface_is_bit_identical_after_reload(self, distilled, envelope_path):
+        loaded = load_distilled(envelope_path)
+        X = distilled.space.sample_encoded(np.random.default_rng(0), 64)
+        np.testing.assert_array_equal(
+            distilled.true_times_encoded(X), loaded.true_times_encoded(X)
+        )
+
+    def test_space_and_noise_survive(self, distilled, envelope_path):
+        loaded = load_distilled(envelope_path)
+        assert loaded.name == distilled.name == "atax-forest"
+        assert loaded.protocol == distilled.protocol
+        source = get_benchmark("atax").space
+        assert [p.name for p in loaded.space.parameters] == [
+            p.name for p in source.parameters
+        ]
+        assert loaded.space.size() == source.size()
+
+    def test_distillation_is_deterministic(self, distilled):
+        again = distill_workload(
+            get_benchmark("atax"), surrogate="forest", budget=150, seed=11,
+            n_estimators=6,
+        )
+        a, b = io.BytesIO(), io.BytesIO()
+        save_distilled(distilled, a)
+        save_distilled(again, b)
+        assert a.getvalue() == b.getvalue()
+
+    def test_resave_after_load_is_byte_stable(self, envelope_path):
+        buf = io.BytesIO()
+        save_distilled(load_distilled(envelope_path), buf)
+        assert buf.getvalue() == envelope_path.read_bytes()
+
+    def test_provenance_stamped(self, distilled):
+        prov = distilled.provenance
+        assert prov["source"] == "atax"
+        assert prov["budget"] == 150
+        assert prov["noise_mode"] == "protocol"
+        assert prov["fit_rmse_log"] >= 0.0
+        assert prov["source_protocol"]["n_repeats"] == 35
+
+    def test_registry_prefix_resolves_the_file(self, envelope_path):
+        b = get_benchmark(f"surrogate:{envelope_path}")
+        assert isinstance(b, SurrogateBenchmark)
+        assert b.name == "atax-forest"
+
+    def test_plain_surrogate_loader_reads_the_superset(self, envelope_path):
+        from repro.forest.serialize import load_forest
+        from repro.surrogate import load_surrogate
+
+        model = load_surrogate(str(envelope_path))
+        assert model.kind == "forest"
+        forest = load_forest(str(envelope_path))
+        X = np.zeros((3, forest.trees_[0].n_features_))
+        assert np.isfinite(forest.predict(X)).all()
+
+
+class TestNoiseModes:
+    def test_protocol_mode_scales_sigma_by_sqrt_repeats(self, distilled):
+        source = get_benchmark("atax").protocol
+        assert distilled.protocol.n_repeats == 1
+        assert distilled.protocol.outlier_prob == 0.0
+        assert distilled.protocol.noise_sigma == pytest.approx(
+            source.noise_sigma / np.sqrt(source.n_repeats)
+        )
+
+    def test_none_mode_is_exact(self):
+        d = distill_workload(
+            get_benchmark("atax"), budget=80, seed=1, n_estimators=4, noise="none"
+        )
+        assert d.protocol.is_exact
+        X = d.space.sample_encoded(np.random.default_rng(2), 16)
+        np.testing.assert_array_equal(
+            d.evaluate_batch(X, np.random.default_rng(0)),
+            d.true_times_encoded(X),
+        )
+
+    def test_exact_mode_copies_the_source_protocol(self):
+        d = distill_workload(
+            get_benchmark("atax"), budget=80, seed=1, n_estimators=4, noise="exact"
+        )
+        assert d.protocol == get_benchmark("atax").protocol
+
+    def test_residual_mode_fits_campaign_residuals(self):
+        d = distill_workload(
+            get_benchmark("atax"), budget=80, seed=1, n_estimators=4,
+            noise="residual",
+        )
+        assert d.protocol.n_repeats == 1
+        assert 0.0 <= d.protocol.noise_sigma < 2.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="noise mode"):
+            distill_workload(get_benchmark("atax"), budget=80, noise="psychic")
+
+
+class TestTypedFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EnvelopeError, match="file not found"):
+            load_distilled(tmp_path / "ghost.npz")
+
+    def test_truncated_archive(self, tmp_path, envelope_path):
+        stump = tmp_path / "cut.npz"
+        stump.write_bytes(envelope_path.read_bytes()[:100])
+        with pytest.raises(EnvelopeError, match="distilled-workload"):
+            load_distilled(stump)
+
+    def test_garbage_bytes(self, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"this was never an archive")
+        with pytest.raises(EnvelopeError, match="distilled-workload"):
+            load_distilled(junk)
+
+    def test_plain_surrogate_envelope_is_not_a_workload(self, tmp_path, distilled):
+        from repro.surrogate import save_surrogate
+
+        path = tmp_path / "bare.npz"
+        save_surrogate(distilled.model, path)
+        with pytest.raises(EnvelopeError, match="workload_meta"):
+            load_distilled(path)
+
+    def test_corrupt_metadata(self, tmp_path, envelope_path):
+        data = dict(np.load(envelope_path))
+        data["workload_meta"] = np.asarray('{"name": "x"}')  # no space/noise
+        bad = tmp_path / "nospace.npz"
+        np.savez_compressed(bad, **data)
+        with pytest.raises(EnvelopeError, match="corrupt workload_meta"):
+            load_distilled(bad)
+
+    def test_future_schema_rejected(self, tmp_path, envelope_path):
+        data = dict(np.load(envelope_path))
+        data["workload_schema"] = np.asarray(99)
+        future = tmp_path / "future.npz"
+        np.savez_compressed(future, **data)
+        with pytest.raises(EnvelopeError, match="workload schema 99"):
+            load_distilled(future)
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            distill_workload(get_benchmark("atax"), budget=1)
+
+
+class TestSpaceSerialization:
+    def test_every_benchmark_space_round_trips(self):
+        for name in ("atax", "mm", "kripke", "hypre", "tensor"):
+            space = get_benchmark(name).space
+            rebuilt = space_from_dict(space_to_dict(space))
+            assert [p.name for p in rebuilt.parameters] == [
+                p.name for p in space.parameters
+            ]
+            X = space.sample_encoded(np.random.default_rng(1), 32)
+            assert rebuilt.decode(X) == space.decode(X)
+            np.testing.assert_array_equal(rebuilt.encode(space.decode(X)), X)
+
+    def test_constrained_space_records_dropped_names(self):
+        b = get_benchmark("tensor")
+        if not b.space.constraints:
+            pytest.skip("tensor space is unconstrained in this build")
+        d = distill_workload(b, budget=80, seed=0, n_estimators=4)
+        assert d.provenance["constraints_dropped"] == [
+            c.name for c in b.space.constraints
+        ]
+        assert not d.space.constraints
+
+
+class TestEndToEnd:
+    def test_api_run_is_deterministic_and_jobs_invariant(self, envelope_path):
+        name = f"surrogate:{envelope_path}"
+        kwargs = dict(scale="smoke", seed=3, trials=2)
+        serial = repro.api.run(name, "pwu", jobs=1, **kwargs)
+        again = repro.api.run(name, "pwu", jobs=1, **kwargs)
+        fanned = repro.api.run(name, "pwu", jobs=2, **kwargs)
+        assert serial.history.to_dict() == again.history.to_dict()
+        assert serial.history.to_dict() == fanned.history.to_dict()
+
+    def test_compare_accepts_distilled_workloads(self, envelope_path):
+        result = repro.api.compare(
+            f"surrogate:{envelope_path}", ("random", "pwu"),
+            scale="smoke", seed=0, trials=1,
+        )
+        assert set(result.metrics) == {"random", "pwu"}
+
+    def test_api_distill_facade_writes_the_envelope(self, tmp_path):
+        out = tmp_path / "facade.npz"
+        bench = repro.api.distill(
+            "kernel:atax", budget=80, n_estimators=4, out=str(out)
+        )
+        assert out.exists()
+        loaded = load_distilled(out)
+        assert loaded.name == bench.name == "atax-forest"

@@ -70,6 +70,71 @@ class TestObserve:
         assert obs.mean() == pytest.approx(2.0, rel=0.02)
 
 
+class TestExactProtocols:
+    """The sigma=0/outlier=0 edge cases distilled workloads rely on."""
+
+    def test_is_exact_flag(self):
+        assert MeasurementProtocol(noise_sigma=0.0, outlier_prob=0.0).is_exact
+        assert not MeasurementProtocol(noise_sigma=0.01, outlier_prob=0.0).is_exact
+        assert not MeasurementProtocol(noise_sigma=0.0, outlier_prob=0.5).is_exact
+
+    def test_exact_observation_is_bit_identical(self, rng):
+        """Not just allclose: repeat-averaging round-off (t*n/n) must not
+        perturb the last bits when there is no noise to average out."""
+        p = MeasurementProtocol(n_repeats=35, noise_sigma=0.0, outlier_prob=0.0)
+        truth = np.array([0.1, 1.0 / 3.0, 7e-4])
+        np.testing.assert_array_equal(p.observe(truth, rng), truth)
+
+    def test_exact_observation_consumes_no_randomness(self):
+        p = MeasurementProtocol(noise_sigma=0.0, outlier_prob=0.0)
+        rng = np.random.default_rng(3)
+        p.observe(np.ones(100), rng)
+        assert rng.integers(1 << 30) == np.random.default_rng(3).integers(1 << 30)
+
+    def test_exact_observation_returns_a_copy(self, rng):
+        p = MeasurementProtocol(noise_sigma=0.0, outlier_prob=0.0)
+        truth = np.array([1.0, 2.0])
+        obs = p.observe(truth, rng)
+        obs[0] = 99.0
+        assert truth[0] == 1.0
+
+    def test_single_repeat_matches_one_draw(self):
+        """n_repeats=1 is a plain log-normal draw, not a degenerate mean."""
+        p = MeasurementProtocol(n_repeats=1, noise_sigma=0.25, outlier_prob=0.0)
+        truth = np.array([2.0, 0.5])
+        obs = p.observe(truth, np.random.default_rng(5))
+        eps = np.exp(np.random.default_rng(5).normal(0.0, 0.25, size=(2, 1)))
+        np.testing.assert_array_equal(obs, (truth[:, None] * eps).mean(axis=1))
+
+    def test_batch_vs_scalar_parity_n1(self):
+        """A 1-row batch and observe_one consume the RNG identically."""
+        p = MeasurementProtocol(n_repeats=3, noise_sigma=0.1, outlier_prob=0.3)
+        batch = p.observe(np.array([1.5]), np.random.default_rng(9))
+        one = p.observe_one(1.5, np.random.default_rng(9))
+        assert float(batch[0]) == one
+
+    def test_outlier_parity_between_paths(self):
+        """The outlier draw sequence is part of the observation contract:
+        measure (via evaluate_batch) and a direct observe call on the same
+        generator state must agree bit-for-bit."""
+        from repro.workloads import get_benchmark
+
+        b = get_benchmark("atax")
+        assert b.protocol.outlier_prob > 0
+        X = b.space.sample_encoded(np.random.default_rng(0), 1)
+        via_batch = b.evaluate_batch(X, np.random.default_rng(4))
+        direct = b.protocol.observe(
+            b.true_times_encoded(X), np.random.default_rng(4)
+        )
+        np.testing.assert_array_equal(via_batch, direct)
+
+    def test_roundtrip_to_dict(self):
+        p = MeasurementProtocol(
+            n_repeats=7, noise_sigma=0.015, outlier_prob=0.002, outlier_scale=3.0
+        )
+        assert MeasurementProtocol.from_dict(p.to_dict()) == p
+
+
 class TestPresets:
     def test_kernel_protocol_is_35_repeats(self):
         """Section III-B: every kernel configuration is executed 35 times."""

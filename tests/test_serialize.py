@@ -66,3 +66,57 @@ class TestErrors:
         # it must not crash, and afterwards it really is refit.
         loaded.update(X[:30], y[:30])
         assert loaded.n_training_samples == 30
+
+
+class TestTypedEnvelopeErrors:
+    """Unreadable files fail with EnvelopeError (a ValueError subclass)
+    naming the file and the expected schema — never a raw zipfile or
+    KeyError traceback (the bugfix behind DESIGN.md §2j's loaders)."""
+
+    def test_missing_file(self, tmp_path):
+        from repro.envelope import EnvelopeError
+
+        with pytest.raises(EnvelopeError, match="file not found"):
+            load_forest(str(tmp_path / "ghost.npz"))
+
+    def test_truncated_file_names_path_and_schema(self, fitted, tmp_path):
+        from repro.envelope import EnvelopeError
+
+        model, _ = fitted
+        path = tmp_path / "f.npz"
+        save_forest(model, str(path))
+        path.write_bytes(path.read_bytes()[:80])
+        with pytest.raises(EnvelopeError) as err:
+            load_forest(str(path))
+        assert str(path) in str(err.value)
+        assert "format_version" in str(err.value)  # the expected schema
+
+    def test_text_file_is_not_a_zipfile_leak(self, tmp_path):
+        from repro.envelope import EnvelopeError
+
+        path = tmp_path / "notes.npz"
+        path.write_text("definitely not an archive")
+        with pytest.raises(EnvelopeError, match="repro forest"):
+            load_forest(str(path))
+
+    def test_npz_missing_schema_keys(self, tmp_path):
+        from repro.envelope import EnvelopeError
+
+        path = tmp_path / "foreign.npz"
+        np.savez_compressed(path, unrelated=np.arange(3))
+        with pytest.raises(EnvelopeError, match="format_version"):
+            load_forest(str(path))
+
+    def test_surrogate_loader_shares_the_contract(self, tmp_path):
+        from repro.envelope import EnvelopeError
+        from repro.surrogate import load_surrogate
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"\x00\x01\x02")
+        with pytest.raises(EnvelopeError, match="surrogate"):
+            load_surrogate(str(path))
+
+    def test_envelope_error_is_a_value_error(self):
+        from repro.envelope import EnvelopeError
+
+        assert issubclass(EnvelopeError, ValueError)

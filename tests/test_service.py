@@ -136,7 +136,8 @@ class TestProtocol:
             ({"benchmark": "atax", "mode": "psychic"}, "bad_mode"),
             ({"benchmark": "atax", "scale": "galactic"}, "bad_scale"),
             ({"benchmark": "atax", "seed": "six"}, "bad_seed"),
-            ({"benchmark": "nope"}, "unknown_benchmark"),
+            ({"benchmark": "nope"}, "unknown_workload"),
+            ({"benchmark": "surrogate:/nonexistent/x.npz"}, "unknown_workload"),
             ({"benchmark": "atax", "strategy": "nope"}, "unknown_strategy"),
             ({"benchmark": "atax", "n_max": 9000}, "bad_spec"),
             ("not a dict", "bad_request"),
@@ -607,3 +608,52 @@ class TestHTTPEndToEnd:
             assert final["n_labeled"] == 12
         finally:
             server.stop()
+
+
+class TestDistilledWorkloadSessions:
+    """Distilled envelopes as session workloads (DESIGN.md §2j)."""
+
+    @pytest.fixture(scope="class")
+    def envelope_path(self, tmp_path_factory):
+        from repro.workloads import distill_workload, get_benchmark, save_distilled
+
+        path = tmp_path_factory.mktemp("svc-distill") / "atax.npz"
+        save_distilled(
+            distill_workload(
+                get_benchmark("atax"), budget=120, seed=2, n_estimators=4
+            ),
+            path,
+        )
+        return path
+
+    def test_spec_accepts_and_hashes_the_file_name(self, envelope_path):
+        spec = make_spec(benchmark=f"surrogate:{envelope_path}")
+        assert spec.benchmark == f"surrogate:{envelope_path}"
+        assert spec.spec_hash() != make_spec().spec_hash()
+
+    def test_session_runs_against_the_envelope(self, tmp_path, envelope_path):
+        driver = AppDriver(tmp_path)
+        fields = dict(SPEC_FIELDS, benchmark=f"surrogate:{envelope_path}")
+        sid = driver.drive(fields, rounds=2)
+        status, data = driver.call("GET", f"/v1/sessions/{sid}")
+        assert status == 200
+        assert data["session"]["benchmark"] == f"surrogate:{envelope_path}"
+        assert data["session"]["n_labeled"] > 0
+
+    def test_unreadable_envelope_is_a_400_not_a_500(self, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"not an archive")
+        driver = AppDriver(tmp_path)
+        status, data = driver.call(
+            "POST", "/v1/sessions", {"benchmark": f"surrogate:{junk}"}
+        )
+        assert status == 400
+        assert data["error"]["code"] == "unknown_workload"
+        assert "cannot load" in data["error"]["message"]
+
+    def test_unknown_name_includes_did_you_mean(self, tmp_path):
+        driver = AppDriver(tmp_path)
+        status, data = driver.call("POST", "/v1/sessions", {"benchmark": "attax"})
+        assert status == 400
+        assert data["error"]["code"] == "unknown_workload"
+        assert "did you mean" in data["error"]["message"]

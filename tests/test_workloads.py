@@ -118,13 +118,16 @@ class TestEvaluateBatch:
 
 class TestRegistry:
     def test_registry_inventory(self):
-        """12 paper kernels + kripke + hypre + 6 extra SPAPT problems."""
+        """12 paper kernels + kripke + hypre + 6 extra SPAPT problems,
+        plus whatever the distilled zoo ships (always listed last)."""
         names = all_benchmarks()
-        assert len(names) == 20
+        zoo = [n for n in names if n.startswith("distilled:")]
+        assert len(names) == 20 + len(zoo)
         assert names[12:14] == ("kripke", "hypre")
-        assert set(names[14:]) == {
+        assert set(names[14:20]) == {
             "covariance", "fdtd", "seidel", "stencil3d", "tensor", "trmm",
         }
+        assert list(names[20:]) == zoo
 
     def test_get_returns_fresh_instances(self):
         a = get_benchmark("atax")
@@ -139,3 +142,25 @@ class TestRegistry:
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
             register_benchmark("atax", _Good)
+
+    def test_kernel_and_app_alias_prefixes(self):
+        assert get_benchmark("kernel:atax").name == "atax"
+        assert get_benchmark("app:kripke").name == "kripke"
+
+    def test_alias_prefix_unknown_name_still_suggests(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            get_benchmark("kernel:attax")
+
+    def test_surrogate_prefix_missing_file_is_typed(self):
+        from repro.envelope import EnvelopeError
+
+        with pytest.raises(EnvelopeError, match="distilled-workload"):
+            get_benchmark("surrogate:/nonexistent/x.npz")
+
+    def test_zoo_entries_resolve_and_name_themselves(self):
+        from repro.workloads import zoo_entries
+
+        for name in zoo_entries():
+            b = get_benchmark(name)
+            assert b.name == name.split(":", 1)[1]
+            assert b.provenance["source"] in all_benchmarks()
