@@ -10,10 +10,22 @@ telemetry names are literal and namespace-disciplined (TEL001), file
 writes go through the journal/atomic helpers (IO001), and no handler
 swallows exceptions silently (EXC001).
 
+On top of the per-module rules sits a whole-program pass: the
+:mod:`~repro.analysis.graph` module builds a project-wide import graph
+and a resolved intra-package call graph, and the FLOW/RACE/ARCH rule
+families run dataflow over it — un-derived RNG reaching worker-reachable
+code (FLOW001), generator parameters consumed on only one branch path
+(FLOW002), shared state touched on thread-reachable paths without the
+guarding lock (RACE001), inconsistent lock acquisition order (RACE002),
+and the layering contract over imports (ARCH001).  Results are cached
+incrementally (:mod:`~repro.analysis.cache`) with content-hash keys and
+transitive invalidation through the import graph.
+
 Run it as ``repro lint`` or ``python -m repro.analysis [paths...]``;
 the pytest gate ``tests/test_lint_clean.py`` keeps ``src/repro``
-violation-free.  See DESIGN.md §2f for the full rule table and the
-``# repro: allow[RULE] reason`` suppression grammar.
+violation-free.  See DESIGN.md §2f for the rule table and the
+``# repro: allow[RULE] reason`` suppression grammar, and §2k for the
+whole-program analysis design.
 """
 
 from repro.analysis.config import (
@@ -29,8 +41,18 @@ from repro.analysis.reporters import (
     render_json,
     render_text,
 )
-from repro.analysis.rules import all_rules, get_rule, known_rule_ids
-from repro.analysis.runner import LintResult, lint_paths
+from repro.analysis.rules import (
+    all_rules,
+    get_rule,
+    known_rule_ids,
+    module_rules,
+    project_rules,
+)
+from repro.analysis.runner import (
+    LintResult,
+    build_graph_for_paths,
+    lint_paths,
+)
 from repro.analysis.cli import main
 
 __all__ = [
@@ -40,11 +62,14 @@ __all__ = [
     "RuleConfig",
     "LintResult",
     "lint_paths",
+    "build_graph_for_paths",
     "default_config",
     "permissive_config",
     "all_rules",
     "get_rule",
     "known_rule_ids",
+    "module_rules",
+    "project_rules",
     "render_text",
     "render_json",
     "findings_from_json",

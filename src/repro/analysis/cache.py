@@ -1,0 +1,356 @@
+"""Content-hash incremental lint cache and the multiprocess module pass.
+
+The cache file (JSON, default ``.repro-lint-cache.json``) stores, per
+linted file, the SHA-256 of its bytes, its import targets, and the
+post-suppression module-rule results; plus one *project section* holding
+the whole-program rule results keyed on a digest over every file in the
+walk.  Both sections are also keyed on a digest of the registered rule
+set and the active configuration, so changing a rule or a config flag
+busts everything.
+
+Invalidation is transitive through the import graph: when module A's
+digest changes, every cached file that imports A (directly or through a
+chain) is re-linted too — its module results cannot have changed (module
+rules see one file), but its *relationship* to A can, and a stale entry
+whose imports no longer exist would pin wrong graph facts.  The project
+section is keyed on all digests, so any edit re-runs the whole-program
+rules (over re-parsed trees, reusing the per-file module results).
+
+A fully-warm run therefore parses nothing: every per-file entry hits and
+the project section hits.  Cache health is observable through the
+telemetry counters ``analysis.cache.hits`` / ``analysis.cache.misses``
+/ ``analysis.cache.project_hits`` / ``analysis.cache.project_misses``
+/ ``analysis.cache.corrupt`` — the incrementality tests assert on these
+rather than wall-clock.
+
+A corrupt or unreadable cache file is ignored (counted, never fatal),
+and writes are atomic (temp file + ``os.replace``) so a crashed run
+cannot tear the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import Suppression
+from repro.telemetry import counters
+
+__all__ = ["LintCache", "CacheStats", "compute_dirty", "file_digest"]
+
+CACHE_SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """What the cache did during one run (mirrored into telemetry)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0
+    project_hit: bool = False
+    enabled: bool = False
+
+    def publish(self) -> None:
+        if not self.enabled:
+            return
+        counters.inc("analysis.cache.hits", self.hits)
+        counters.inc("analysis.cache.misses", self.misses)
+        counters.inc("analysis.cache.invalidated", self.invalidated)
+        if self.project_hit:
+            counters.inc("analysis.cache.project_hits")
+        else:
+            counters.inc("analysis.cache.project_misses")
+
+
+@dataclass
+class FileEntry:
+    """Cached module-pass results for one file."""
+
+    digest: str
+    imports: "list[str]"
+    findings: "list[Finding]"
+    suppressed: "list[Suppression]"
+
+
+def file_digest(path: "Path | str") -> "str | None":
+    """SHA-256 of the file's bytes (``None`` if unreadable)."""
+    try:
+        return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+def _finding_to_json(f: Finding) -> list:
+    return [f.file, f.line, f.col, f.rule, f.message, f.severity, f.fingerprint]
+
+
+def _finding_from_json(row: list) -> Finding:
+    return Finding(
+        file=row[0],
+        line=row[1],
+        col=row[2],
+        rule=row[3],
+        message=row[4],
+        severity=row[5],
+        fingerprint=row[6],
+    )
+
+
+def _suppression_to_json(s: Suppression) -> list:
+    return [s.line, s.rule, s.reason]
+
+
+def _suppression_from_json(row: list) -> Suppression:
+    return Suppression(line=row[0], rule=row[1], reason=row[2])
+
+
+class LintCache:
+    """One cache file: load leniently, serve lookups, write atomically."""
+
+    def __init__(self, path: "Path | str", ruleset_digest: str) -> None:
+        self.path = Path(path)
+        self.ruleset = ruleset_digest
+        self._files: "dict[str, FileEntry]" = {}
+        self._project_key: "str | None" = None
+        self._project_findings: "list[Finding]" = []
+        self._project_suppressed: "list[tuple[str, Suppression]]" = []
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError, ValueError):
+            counters.inc("analysis.cache.corrupt")
+            return
+        try:
+            if raw.get("schema") != CACHE_SCHEMA or raw.get("ruleset") != self.ruleset:
+                return  # a stale rule set busts the whole cache
+            for name, entry in raw.get("files", {}).items():
+                self._files[name] = FileEntry(
+                    digest=entry["digest"],
+                    imports=list(entry.get("imports", [])),
+                    findings=[_finding_from_json(r) for r in entry.get("findings", [])],
+                    suppressed=[
+                        _suppression_from_json(r)
+                        for r in entry.get("suppressed", [])
+                    ],
+                )
+            project = raw.get("project")
+            if project:
+                self._project_key = project.get("key")
+                self._project_findings = [
+                    _finding_from_json(r) for r in project.get("findings", [])
+                ]
+                self._project_suppressed = [
+                    (row[0], _suppression_from_json(row[1]))
+                    for row in project.get("suppressed", [])
+                ]
+        except (KeyError, TypeError, IndexError, AttributeError):
+            # Structurally corrupt content: start cold, never crash.
+            counters.inc("analysis.cache.corrupt")
+            self._files = {}
+            self._project_key = None
+            self._project_findings = []
+            self._project_suppressed = []
+
+    # -- per-file section ----------------------------------------------------
+    def lookup(self, name: str, digest: str) -> "FileEntry | None":
+        entry = self._files.get(name)
+        if entry is not None and entry.digest == digest:
+            return entry
+        return None
+
+    def cached_names(self) -> "set[str]":
+        return set(self._files)
+
+    def imports_of(self, name: str) -> "list[str]":
+        entry = self._files.get(name)
+        return entry.imports if entry is not None else []
+
+    def store(
+        self,
+        name: str,
+        digest: str,
+        imports: "list[str]",
+        findings: "list[Finding]",
+        suppressed: "list[Suppression]",
+    ) -> None:
+        self._files[name] = FileEntry(
+            digest=digest,
+            imports=sorted(imports),
+            findings=list(findings),
+            suppressed=list(suppressed),
+        )
+
+    def drop(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    # -- project section -----------------------------------------------------
+    def project_lookup(
+        self, key: str
+    ) -> "tuple[list[Finding], list[tuple[str, Suppression]]] | None":
+        if self._project_key == key:
+            return list(self._project_findings), list(self._project_suppressed)
+        return None
+
+    def project_store(
+        self,
+        key: str,
+        findings: "list[Finding]",
+        suppressed: "list[tuple[str, Suppression]]",
+    ) -> None:
+        self._project_key = key
+        self._project_findings = list(findings)
+        self._project_suppressed = list(suppressed)
+
+    # -- persistence ---------------------------------------------------------
+    def save(self) -> None:
+        """Write the cache atomically; failures are silent (it's a cache)."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "ruleset": self.ruleset,
+            "files": {
+                name: {
+                    "digest": entry.digest,
+                    "imports": entry.imports,
+                    "findings": [_finding_to_json(f) for f in entry.findings],
+                    "suppressed": [
+                        _suppression_to_json(s) for s in entry.suppressed
+                    ],
+                }
+                for name, entry in sorted(self._files.items())
+            },
+            "project": {
+                "key": self._project_key,
+                "findings": [_finding_to_json(f) for f in self._project_findings],
+                "suppressed": [
+                    [name, _suppression_to_json(s)]
+                    for name, s in self._project_suppressed
+                ],
+            },
+        }
+        text = json.dumps(payload, sort_keys=True)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.fspath(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
+            try:
+                # repro: allow[IO001] cache file, not a result artifact; written atomically via os.replace below
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.replace(tmp, self.path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:  # repro: allow[EXC001] best-effort cache write; next run starts cold
+            pass
+
+
+def compute_dirty(
+    files: "list[tuple[Path, str]]",
+    digests: "dict[str, str | None]",
+    cache: LintCache,
+) -> "tuple[set[str], int]":
+    """Files needing a fresh module pass, with transitive invalidation.
+
+    Returns ``(dirty file names, transitively-invalidated count)``.  A
+    file is directly dirty when its digest misses the cache; dirtiness
+    then propagates backwards along cached import edges (if A changed,
+    everything importing A re-lints) until a fixed point.
+    """
+    from repro.analysis.graph import module_name_for
+
+    module_of: "dict[str, str]" = {}
+    for _path, name in files:
+        module_of[name] = module_name_for(name)
+
+    dirty: "set[str]" = set()
+    for _path, name in files:
+        digest = digests.get(name)
+        if digest is None or cache.lookup(name, digest) is None:
+            dirty.add(name)
+    # Files that vanished from the walk invalidate their importers too.
+    walked = {name for _p, name in files}
+    gone_modules = {
+        module_name_for(name)
+        for name in cache.cached_names() - walked
+    }
+
+    dirty_modules = {module_of[n] for n in dirty} | gone_modules
+    invalidated = 0
+    changed = True
+    while changed:
+        changed = False
+        for _path, name in files:
+            if name in dirty:
+                continue
+            for target in cache.imports_of(name):
+                if (
+                    target in dirty_modules
+                    or target.rpartition(".")[0] in dirty_modules
+                ):
+                    dirty.add(name)
+                    dirty_modules.add(module_of[name])
+                    invalidated += 1
+                    changed = True
+                    break
+    return dirty, invalidated
+
+
+# ---------------------------------------------------------------------------
+# the multiprocess module pass
+# ---------------------------------------------------------------------------
+
+_POOL_CONFIG = None
+
+
+def _pool_init(config) -> None:
+    global _POOL_CONFIG
+    # repro: allow[SPAWN001] pool initializer installs the config once per worker before any file is linted
+    _POOL_CONFIG = config
+
+
+def _pool_lint_one(item: "tuple[str, str]"):
+    """Worker body: lint one file under the installed config."""
+    from repro.analysis.runner import lint_one_file
+
+    path, name = item
+    return lint_one_file(Path(path), name, _POOL_CONFIG)
+
+
+def run_module_pass(files, config, jobs: int):
+    """Run the module pass over ``files``; returns results in walk order.
+
+    ``jobs > 1`` fans the per-file work out over a process pool; any
+    failure to build the pool (sandboxes, exotic platforms) degrades to
+    the serial path.  Results are merged back in input order, so the
+    output is byte-identical to a serial run.
+    """
+    from repro.analysis.runner import lint_one_file
+
+    if jobs > 1 and len(files) > 1:
+        import multiprocessing
+
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+            ctx = multiprocessing.get_context(method)
+            with ctx.Pool(
+                processes=min(jobs, len(files)),
+                initializer=_pool_init,
+                initargs=(config,),
+            ) as pool:
+                items = [(os.fspath(path), name) for path, name in files]
+                return pool.map(_pool_lint_one, items, chunksize=4)
+        except (OSError, PermissionError, ValueError, ImportError):
+            counters.inc("analysis.pool_fallback_serial")
+    return [lint_one_file(path, name, config) for path, name in files]

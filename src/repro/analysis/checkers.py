@@ -1,10 +1,15 @@
-"""The nine determinism/concurrency checkers.
+"""The per-module determinism/concurrency checkers.
 
 Each checker enforces one clause of the repo's reproducibility contract
 (see DESIGN.md §2f).  They are deliberately syntactic: the goal is a
 fast, dependency-free pass over the whole tree that catches the
 contract-breaking *patterns*, with inline suppressions carrying the
-justification wherever a pattern is provably safe in context.
+justification wherever a pattern is provably safe in context.  The
+whole-program rules live in :mod:`repro.analysis.graph_rules`; FLOW002
+is here because asymmetric-draw detection needs only one function body.
+
+Checker docstrings carry the ``Violating::`` / ``Clean::`` blocks that
+``repro lint --explain RULE`` renders.
 """
 
 from __future__ import annotations
@@ -53,6 +58,16 @@ _STDLIB_RANDOM_ALLOWED = {"Random", "SystemRandom"}
     "derived from a job key (rng.py is the only blessed constructor site).",
 )
 def check_det001(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        np.random.seed(0)
+        x = np.random.rand(3)
+
+    Clean::
+
+        rng = derive(seed, "sampling")   # repro.rng
+        x = rng.random(3)
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -98,6 +113,15 @@ _WALL_CLOCKS = {
     "to telemetry/progress, which are allowlisted.",
 )
 def check_det002(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        started = time.time()        # in a result-affecting module
+
+    Clean::
+
+        with telemetry.span("engine.job"):   # clocks live in telemetry
+            run(job)
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -149,6 +173,16 @@ def _scope_body_walk(scope: ast.AST):
     "anything feeding results must iterate a sorted materialisation.",
 )
 def check_det003(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        for name in {"b", "a"}:
+            emit(name)
+
+    Clean::
+
+        for name in sorted({"b", "a"}):
+            emit(name)
+    """
     for scope in _scopes(module.tree):
         set_vars: "set[str]" = set()
         for node in _scope_body_walk(scope):
@@ -184,6 +218,15 @@ def check_det003(module: ModuleContext) -> Iterator[Hit]:
     "configuration is auditable.",
 )
 def check_det004(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        jobs = int(os.environ.get("JOBS", 1))   # anywhere else
+
+    Clean::
+
+        jobs = context.jobs          # engine/context.py read it, once,
+                                     # and recorded it in the run manifest
+    """
     for node in ast.walk(module.tree):
         if isinstance(node, ast.Call):
             qualified = module.symbols.qualified(node.func)
@@ -250,6 +293,20 @@ def _under_module_lock(node: ast.AST, lock_names: "set[str]") -> bool:
     "each such site must say which.",
 )
 def check_spawn001(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        _CACHE = {}
+        def lookup(key):
+            _CACHE[key] = compute(key)
+
+    Clean::
+
+        _CACHE = {}
+        _LOCK = threading.Lock()
+        def lookup(key):
+            with _LOCK:
+                _CACHE[key] = compute(key)
+    """
     mutables = module.symbols.mutable_globals
     locks = module.symbols.lock_globals
     for scope in _scopes(module.tree):
@@ -298,7 +355,8 @@ def check_spawn001(module: ModuleContext) -> Iterator[Hit]:
 
 #: The namespace grammar every span/counter/gauge name must satisfy.
 TELEMETRY_NAME_GRAMMAR = re.compile(
-    r"^(engine|forest|learner|costmodel|service|surrogate)\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
+    r"^(engine|forest|learner|costmodel|service|surrogate|analysis)"
+    r"\.[a-z0-9_]+(\.[a-z0-9_]+)*$"
 )
 
 _TELEMETRY_CALL_SUFFIXES = (
@@ -326,6 +384,14 @@ def _is_telemetry_call(module: ModuleContext, node: ast.Call) -> "str | None":
     "costmodel./service./surrogate. namespaces.",
 )
 def check_tel001(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        counters.inc(f"jobs_{kind}")     # computed, wrong namespace
+
+    Clean::
+
+        counters.inc("engine.jobs.executed")
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -346,7 +412,7 @@ def check_tel001(module: ModuleContext) -> Iterator[Hit]:
                 name_arg,
                 f"telemetry name {name_arg.value!r} outside the "
                 "engine.*/forest.*/learner.*/costmodel.*/service.*/"
-                "surrogate.* namespace grammar",
+                "surrogate.*/analysis.* namespace grammar",
             )
 
 
@@ -375,6 +441,15 @@ def _write_mode(node: ast.Call, mode_position: int) -> "str | None":
     "or atomic-replace helpers.",
 )
 def check_io001(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        with open(path, "w") as fh:
+            fh.write(json.dumps(result))
+
+    Clean::
+
+        atomic_write_text(path, json.dumps(result))   # engine/store.py
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -447,6 +522,21 @@ def _creates_segment(node: ast.Call) -> bool:
     "finally path — but the error path must clean up in place).",
 )
 def check_shm001(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        seg = SharedMemory(create=True, size=n)
+
+    Clean::
+
+        seg = None
+        try:
+            seg = SharedMemory(create=True, size=n)
+            ...
+        finally:
+            if seg is not None:
+                seg.close()
+                seg.unlink()
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -498,6 +588,21 @@ def _is_silent_body(body: "list[ast.stmt]") -> bool:
     "or justify itself.",
 )
 def check_exc001(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        try:
+            store.flush()
+        except Exception:
+            pass
+
+    Clean::
+
+        try:
+            store.flush()
+        except OSError as exc:
+            log.warning("flush failed: %s", exc)
+            raise
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.ExceptHandler):
             continue
@@ -513,3 +618,122 @@ def check_exc001(module: ModuleContext) -> Iterator[Hit]:
                 "silently swallowed exception (handler body is pass); "
                 "record, re-raise, or justify with a suppression",
             )
+
+
+# -- FLOW002: path-asymmetric Generator consumption ---------------------------
+
+
+def _generator_params(fn: ast.AST) -> "list[str]":
+    """Parameters that carry an RNG stream: named ``rng`` or
+    annotated with a ``Generator`` type."""
+    out = []
+    for arg in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs):
+        if arg.arg == "rng":
+            out.append(arg.arg)
+            continue
+        ann = arg.annotation
+        text = ast.unparse(ann) if ann is not None else ""
+        if "Generator" in text:
+            out.append(arg.arg)
+    return out
+
+
+def _walk_no_nested(stmts: "list[ast.stmt]"):
+    """Walk statement subtrees without descending into nested defs."""
+    stack = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _draw_nodes(stmts: "list[ast.stmt]", param: str) -> "list[ast.AST]":
+    from repro.analysis.graph import RNG_DRAW_METHODS
+
+    out = []
+    for node in _walk_no_nested(stmts):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == param
+            and node.func.attr in RNG_DRAW_METHODS
+        ):
+            out.append(node)
+    return out
+
+
+def _has(stmts: "list[ast.stmt]", kind) -> bool:
+    return any(isinstance(n, kind) for n in _walk_no_nested(stmts))
+
+
+@rule(
+    "FLOW002",
+    "Generator parameter drawn on one branch path but not the other",
+    "When one path through a branch consumes draws and another silently "
+    "skips them, the stream's position afterwards depends on the data — "
+    "every later draw (and every later caller sharing the stream) "
+    "diverges across inputs.  Draw unconditionally, or split the stream "
+    "with derive()/spawn() per path.",
+)
+def check_flow002(module: ModuleContext) -> Iterator[Hit]:
+    """Violating::
+
+        def sample(x, rng):
+            if x.cached:
+                return x.value        # skips the draw below
+            return x.value + rng.normal()
+
+    Clean::
+
+        def sample(x, rng):
+            noise = rng.normal()      # stream advances on every path
+            return x.value if x.cached else x.value + noise
+    """
+    for scope in _scopes(module.tree):
+        if isinstance(scope, ast.Module):
+            continue
+        for param in _generator_params(scope):
+            all_draws = _draw_nodes(scope.body, param)
+            if not all_draws:
+                continue  # pure pass-through parameters are fine
+            for node in _walk_no_nested(scope.body):
+                if not isinstance(node, ast.If):
+                    continue
+                body_draws = bool(_draw_nodes(node.body, param))
+                else_draws = bool(_draw_nodes(node.orelse, param))
+                hit = False
+                # Guard-return: one side bails out drawless while draws
+                # happen on the other side or after the branch.
+                for side, drew in ((node.body, body_draws), (node.orelse, else_draws)):
+                    if not side or drew:
+                        continue
+                    if not _has(side, ast.Return):
+                        continue
+                    other_drew = else_draws if side is node.body else body_draws
+                    draws_after = any(
+                        d.lineno > (node.end_lineno or node.lineno)
+                        for d in all_draws
+                    )
+                    if other_drew or draws_after:
+                        hit = True
+                # Asymmetric fall-through: both sides continue, only one
+                # consumes (a raising side is exceptional, not a path).
+                if (
+                    not hit
+                    and node.body
+                    and node.orelse
+                    and body_draws != else_draws
+                    and not _has(node.body, (ast.Return, ast.Raise))
+                    and not _has(node.orelse, (ast.Return, ast.Raise))
+                ):
+                    hit = True
+                if hit:
+                    yield _hit(
+                        node,
+                        f"Generator parameter {param!r} is drawn on one "
+                        "path through this branch but not the other; the "
+                        "stream position diverges across inputs — draw "
+                        "unconditionally or split with derive()/spawn()",
+                    )

@@ -17,6 +17,9 @@ __all__ = ["configure_parser", "run_from_args", "main"]
 #: Paths linted when none are given (missing ones are skipped).
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
 
+#: Where the incremental cache lives unless ``--cache-file`` overrides it.
+DEFAULT_CACHE_FILE = ".repro-lint-cache.json"
+
 
 def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
@@ -71,11 +74,146 @@ def configure_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         "applies everywhere — what the fixture tests use)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the per-file pass over N worker processes (0 = all "
+        "cores); output is byte-identical to a serial run",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the incremental cache entirely (cold run, no writes)",
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="FILE",
+        default=DEFAULT_CACHE_FILE,
+        help=f"incremental cache location (default: {DEFAULT_CACHE_FILE})",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="only report findings in files changed vs REF (git diff "
+        "--name-only; default HEAD); the whole-program graph still "
+        "covers the full tree",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="print the whole-program import/call graph as JSON and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print a rule's rationale with violating/clean examples and exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print every rule id with its summary and exit",
+        help="print every rule id with its scope and summary, then exit",
     )
     return parser
+
+
+def _explain_blocks(doc: "str | None") -> "dict[str, str]":
+    """Extract the ``Violating::`` / ``Clean::`` example blocks."""
+    import textwrap
+
+    blocks: "dict[str, str]" = {}
+    if not doc:
+        return blocks
+    current: "str | None" = None
+    buffer: "list[str]" = []
+
+    def flush() -> None:
+        if current and buffer:
+            blocks[current] = textwrap.dedent("\n".join(buffer)).strip("\n")
+
+    for line in textwrap.dedent(doc).splitlines():
+        stripped = line.strip()
+        if stripped in ("Violating::", "Clean::"):
+            flush()
+            current = stripped[:-2].lower()
+            buffer = []
+        elif current is not None:
+            if stripped and not line.startswith((" ", "\t")):
+                flush()
+                current = None
+                buffer = []
+            else:
+                buffer.append(line)
+    flush()
+    return blocks
+
+
+def _explain_rule(rule_id: str) -> int:
+    from repro.analysis.rules import get_rule, known_rule_ids
+
+    try:
+        rule = get_rule(rule_id)
+    except KeyError:
+        print(
+            f"repro lint: unknown rule id {rule_id!r} "
+            f"(known: {', '.join(known_rule_ids())})",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{rule.id} ({rule.scope}): {rule.summary}")
+    if rule.rationale:
+        print()
+        print(rule.rationale)
+    blocks = _explain_blocks(rule.checker.__doc__)
+    for title in ("violating", "clean"):
+        body = blocks.get(title)
+        if body:
+            print()
+            print(f"{title.capitalize()}:")
+            for line in body.splitlines():
+                print(f"    {line}")
+    return 0
+
+
+def _changed_names(ref: str) -> "set[str]":
+    """Resolved paths of tracked files changed vs ``ref`` (git diff)."""
+    import subprocess
+    from pathlib import Path
+
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref],
+            capture_output=True,
+            text=True,
+        )
+    except OSError as exc:
+        raise LintUsageError(f"--changed: cannot run git: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        raise LintUsageError(
+            f"--changed: git diff vs {ref!r} failed"
+            + (f": {detail[0]}" if detail else "")
+        )
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+        ).stdout.strip()
+    except OSError:
+        top = ""
+    root = Path(top) if top else Path.cwd()
+    out: "set[str]" = set()
+    for line in proc.stdout.splitlines():
+        name = line.strip()
+        if not name.endswith(".py"):
+            continue
+        out.add((root / name).resolve().as_posix())
+    return out
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -84,12 +222,16 @@ def run_from_args(args: argparse.Namespace) -> int:
     from repro.analysis.config import default_config, permissive_config
     from repro.analysis.reporters import render_json, render_text
     from repro.analysis.rules import all_rules
-    from repro.analysis.runner import lint_paths
+    from repro.analysis.runner import build_graph_for_paths, lint_paths
 
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.id}  {rule.summary}")
+        rules = all_rules()
+        width = max(len(r.id) for r in rules)
+        for rule in rules:
+            print(f"{rule.id:<{width}}  {rule.scope:<7}  {rule.summary}")
         return 0
+    if args.explain:
+        return _explain_rule(args.explain)
 
     try:
         config = permissive_config() if args.no_defaults else default_config()
@@ -118,7 +260,29 @@ def run_from_args(args: argparse.Namespace) -> int:
                     "no paths given and none of src/, tests/, benchmarks/ "
                     "exist here"
                 )
-        result = lint_paths(paths, config=config, baseline_path=args.baseline)
+
+        if args.graph:
+            import json
+
+            graph = build_graph_for_paths(paths, config=config)
+            print(json.dumps(graph.to_json(), indent=2, sort_keys=True))
+            return 0
+
+        jobs = args.jobs
+        if jobs <= 0:
+            import os
+
+            jobs = os.cpu_count() or 1
+        changed = _changed_names(args.changed) if args.changed else None
+        cache_path = None if (args.no_cache or changed is not None) else args.cache_file
+        result = lint_paths(
+            paths,
+            config=config,
+            baseline_path=args.baseline,
+            jobs=jobs,
+            cache_path=cache_path,
+            changed=changed,
+        )
 
         if args.write_baseline:
             recorded = write_baseline(args.write_baseline, result.findings)

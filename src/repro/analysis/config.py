@@ -142,6 +142,13 @@ def default_config() -> LintConfig:
                 allow_paths=("*/repro/engine/store.py", *harness)
             ),
             "EXC001": RuleConfig(),
+            # rng.py is where underived generators are *made* — every
+            # construction inside it would otherwise be its own source.
+            "FLOW001": RuleConfig(allow_paths=("*/repro/rng.py", *harness)),
+            "FLOW002": RuleConfig(allow_paths=harness),
+            "RACE001": RuleConfig(allow_paths=harness),
+            "RACE002": RuleConfig(allow_paths=harness),
+            "ARCH001": RuleConfig(allow_paths=harness),
         },
     )
 

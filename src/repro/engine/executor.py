@@ -163,7 +163,7 @@ def _prepared(benchmark_name: str, scale, seed: int) -> tuple:
     return entry
 
 
-def execute_job(job: TrialJob) -> LearningHistory:
+def execute_job(job: TrialJob) -> LearningHistory:  # repro: worker-entry
     """Run one trial job to completion in the current process."""
     from repro.experiments.runner import run_single
 
@@ -281,7 +281,7 @@ def _attempt(
         return "error", f"{type(exc).__name__}: {exc}"
 
 
-def _execute_keyed(
+def _execute_keyed(  # repro: worker-entry
     item: "tuple[str, TrialJob, float, int, float | None, str | None]",
 ) -> "tuple[str, str, object, list, dict]":
     """Pool-friendly wrapper: runs one guarded attempt in a worker process.
@@ -318,7 +318,7 @@ def chunk_size(batch_size: int, queued: int, n_workers: int) -> int:
     return max(1, min(_BATCH_CAP, -(-queued // (n_workers * 4))))
 
 
-def _execute_chunk(
+def _execute_chunk(  # repro: worker-entry
     chunk: "list[tuple[str, TrialJob, float, int, float | None, str | None]]",
 ) -> "tuple[list[tuple[str, str, object]], list, dict]":
     """Run a chunk of trial attempts sequentially in one worker process.
@@ -340,7 +340,7 @@ def _execute_chunk(
     return outcomes, telemetry.drain_events(), telemetry.drain()
 
 
-def _worker_init(trace_on: bool, manifest=None) -> None:
+def _worker_init(trace_on: bool, manifest=None) -> None:  # repro: worker-entry
     """Reset fork-inherited state in a fresh pool worker.
 
     A forked worker inherits the parent's ring buffer and counters; left

@@ -75,6 +75,7 @@ class MeasurementProtocol:
         t = np.atleast_1d(np.asarray(true_times, dtype=np.float64))
         if np.any(t <= 0):
             raise ValueError("true execution times must be positive")
+        # repro: allow[FLOW002] the exact protocol consumes no randomness by design (see is_exact); callers derive per-trial streams either way
         if self.is_exact:
             return t.copy()
         n = len(t)

@@ -66,7 +66,7 @@ class ServiceApp:
         self.registry = registry
 
     # -- entry point ---------------------------------------------------------
-    def handle(
+    def handle(  # repro: thread-entry — one ThreadingHTTPServer thread per in-flight request
         self, method: str, path: str, body: bytes = b""
     ) -> "tuple[int, dict, bytes]":
         """Dispatch one request; never raises for protocol-level faults."""

@@ -142,14 +142,15 @@ class SessionRegistry:
         """The live session, or :class:`ProtocolError` 404 / 410."""
         with self._lock:
             session = self._sessions.get(session_id)
+            failure = self._failed_loads.get(session_id)
         if session is not None:
             return session
-        if session_id in self._failed_loads:
+        if failure is not None:
             raise ProtocolError(
                 410,
                 "session_unrecoverable",
                 f"session {session_id} exists on disk but failed to "
-                f"resume: {self._failed_loads[session_id]}",
+                f"resume: {failure}",
             )
         raise ProtocolError(
             404, "unknown_session", f"unknown session {session_id!r}"
@@ -158,12 +159,15 @@ class SessionRegistry:
     def list(self) -> "list[dict]":
         """Snapshots of every known session, id-sorted (stable wire order)."""
         with self._lock:
-            sessions = sorted(self._sessions)
-            failed = sorted(self._failed_loads)
-        out = [self._sessions[s].snapshot() for s in sessions]
+            sessions = [
+                self._sessions[s] for s in sorted(self._sessions)
+            ]
+            failed = sorted(self._failed_loads.items())
+        # Snapshotting measures nothing but may take a session's own
+        # lock; do it outside the registry lock to keep routes snappy.
+        out = [session.snapshot() for session in sessions]
         out.extend(
-            {"id": s, "state": "failed", "error": self._failed_loads[s]}
-            for s in failed
+            {"id": s, "state": "failed", "error": error} for s, error in failed
         )
         return out
 

@@ -1,0 +1,5 @@
+"""Stand-in execution layer for the ARCH001 fixture (never imported)."""
+
+
+def run() -> None:
+    """Placeholder execution entry point."""

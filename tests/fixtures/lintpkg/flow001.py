@@ -1,0 +1,26 @@
+"""FLOW001 fixture: un-derived RNG consumed on a worker-reachable path."""
+
+import numpy as np
+
+
+def simulate(job) -> float:  # repro: worker-entry
+    """Active violation: seedless Generator drawn inside a worker."""
+    rng = np.random.default_rng()
+    return float(rng.normal())
+
+
+def simulate_quietly(job) -> float:  # repro: worker-entry
+    """Suppressed twin of :func:`simulate`."""
+    rng = np.random.default_rng(0)  # repro: allow[FLOW001] fixture twin: seeded-violation test data
+    return float(rng.normal())
+
+
+def simulate_derived(job, rng: "np.random.Generator") -> float:  # repro: worker-entry
+    """Drawing from a caller-derived stream — must NOT fire."""
+    return float(rng.normal())
+
+
+def build_unused(job):  # repro: worker-entry
+    """Creation that is never drawn from — must NOT fire."""
+    rng = np.random.default_rng()
+    return job

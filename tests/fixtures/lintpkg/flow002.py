@@ -1,0 +1,24 @@
+"""FLOW002 fixture: Generator parameter drawn on only one branch path."""
+
+
+def jitter(value, rng) -> float:
+    """Active violation: the early return skips the draw entirely."""
+    if value <= 0:
+        return 0.0
+    return value + rng.normal()
+
+
+def jitter_quietly(value, rng) -> float:
+    """Suppressed twin of :func:`jitter`."""
+    # repro: allow[FLOW002] fixture twin: seeded-violation test data
+    if value <= 0:
+        return 0.0
+    return value + rng.normal()
+
+
+def jitter_balanced(value, rng) -> float:
+    """Every path through the branch draws once — must NOT fire."""
+    noise = rng.normal()
+    if value <= 0:
+        return noise
+    return value + noise

@@ -1,0 +1,33 @@
+"""RACE001 fixture: lock-owning class mutated without its lock held."""
+
+import threading
+
+
+class Board:
+    """Shared scoreboard touched by request-handler threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._scores = {}
+
+    def post(self, key, value) -> None:  # repro: thread-entry
+        """Active violation: the guarding lock exists but is not held."""
+        self._scores[key] = value
+
+    def post_quietly(self, key, value) -> None:  # repro: thread-entry
+        """Suppressed twin of :meth:`post`."""
+        # repro: allow[RACE001] fixture twin: seeded-violation test data
+        self._scores[key] = value
+
+    def post_locked(self, key, value) -> None:  # repro: thread-entry
+        """Mutation under the instance lock — must NOT fire."""
+        with self._lock:
+            self._scores[key] = value
+
+    def _apply(self, key, value) -> None:
+        """Called only with the lock held on every path — must NOT fire."""
+        self._scores[key] = value
+
+    def post_via_helper(self, key, value) -> None:  # repro: thread-entry
+        with self._lock:
+            self._apply(key, value)

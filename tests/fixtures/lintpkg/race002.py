@@ -1,0 +1,43 @@
+"""RACE002 fixture: two locks acquired in both nesting orders."""
+
+import threading
+
+_ALPHA = threading.Lock()
+_BETA = threading.Lock()
+
+_GAMMA = threading.Lock()
+_DELTA = threading.Lock()
+
+
+def forward() -> None:
+    with _ALPHA:
+        with _BETA:
+            pass
+
+
+def backward() -> None:
+    """Active violation: the opposite nesting order of :func:`forward`."""
+    with _BETA:
+        with _ALPHA:
+            pass
+
+
+def forward_quietly() -> None:
+    with _GAMMA:
+        with _DELTA:
+            pass
+
+
+def backward_quietly() -> None:
+    """Suppressed twin of :func:`backward` (its own lock pair)."""
+    with _DELTA:
+        # repro: allow[RACE002] fixture twin: seeded-violation test data
+        with _GAMMA:
+            pass
+
+
+def forward_again() -> None:
+    """Same order as :func:`forward` — must NOT fire."""
+    with _ALPHA:
+        with _BETA:
+            pass

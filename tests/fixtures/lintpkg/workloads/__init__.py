@@ -1,0 +1,1 @@
+"""Stand-in model layer for the ARCH001 fixture (never imported)."""

@@ -1,0 +1,5 @@
+"""ARCH001 fixture: a model-layer module importing the execution layer."""
+
+import lintpkg.engine  # active violation: workloads must not import engine
+
+from lintpkg.engine import run  # repro: allow[ARCH001] fixture twin: seeded-violation test data

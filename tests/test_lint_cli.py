@@ -28,6 +28,14 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lintpkg"
 FINDING_LINE = re.compile(r"^\S+\.py:\d+:\d+ [A-Z]+\d* .+$")
 
 
+@pytest.fixture(autouse=True)
+def _scratch_cwd(tmp_path_factory, monkeypatch):
+    """The CLI caches to ``.repro-lint-cache.json`` in cwd by default;
+    run every test from a scratch directory so no cache file lands in
+    the repository checkout."""
+    monkeypatch.chdir(tmp_path_factory.mktemp("lint-cwd"))
+
+
 def test_clean_tree_exits_zero(capsys):
     code = lint_main([str(ROOT / "src" / "repro")])
     out = capsys.readouterr().out
@@ -40,7 +48,7 @@ def test_fixture_violations_exit_one_with_clickable_lines(capsys):
     out = capsys.readouterr().out.strip().splitlines()
     assert code == 1
     finding_lines = out[:-1]  # last line is the summary
-    assert len(finding_lines) == 9
+    assert len(finding_lines) == 14
     for line in finding_lines:
         assert FINDING_LINE.match(line), line
 
@@ -51,12 +59,12 @@ def test_json_report_matches_schema_and_round_trips(capsys):
     assert code == 1
     assert payload["schema"] == JSON_SCHEMA_VERSION
     assert payload["tool"] == "repro.analysis"
-    assert payload["files_scanned"] == 10
-    assert payload["summary"]["total"] == 9
-    assert payload["summary"]["errors"] == 9
+    assert payload["files_scanned"] == 17
+    assert payload["summary"]["total"] == 14
+    assert payload["summary"]["errors"] == 14
     assert payload["summary"]["warnings"] == 0
     assert set(payload["summary"]["by_rule"]) == set(payload["rules"])
-    assert len(payload["suppressed"]) == 9
+    assert len(payload["suppressed"]) == 14
     for entry in payload["suppressed"]:
         assert entry["reason"]
 
@@ -75,7 +83,7 @@ def test_usage_errors_exit_two(capsys):
     assert "repro lint:" in err
 
 
-def test_list_rules_prints_all_eight(capsys):
+def test_list_rules_prints_every_rule_with_scope(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in (
@@ -87,8 +95,16 @@ def test_list_rules_prints_all_eight(capsys):
         "TEL001",
         "IO001",
         "EXC001",
+        "FLOW001",
+        "FLOW002",
+        "RACE001",
+        "RACE002",
+        "ARCH001",
     ):
         assert rule_id in out
+    # every row carries the scope column
+    rows = [line for line in out.splitlines() if line.strip()]
+    assert all(" module " in row or " project " in row for row in rows)
 
 
 def test_write_baseline_flow(tmp_path, capsys):
@@ -113,8 +129,8 @@ def test_write_baseline_flow(tmp_path, capsys):
 def test_repro_cli_lint_subcommand(capsys):
     from repro.cli import main as repro_main
 
-    assert repro_main(["lint", str(ROOT / "src" / "repro")]) == 0
-    assert repro_main(["lint", str(FIXTURES), "--no-defaults"]) == 1
+    assert repro_main(["lint", "--no-cache", str(ROOT / "src" / "repro")]) == 0
+    assert repro_main(["lint", "--no-cache", str(FIXTURES), "--no-defaults"]) == 1
     capsys.readouterr()
 
 
@@ -123,7 +139,8 @@ def _run_module(args, cwd):
     src = str(ROOT / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
-        [sys.executable, "-m", "repro.analysis", *args],
+        # --no-cache keeps subprocess runs from dropping a cache file in cwd
+        [sys.executable, "-m", "repro.analysis", "--no-cache", *args],
         capture_output=True,
         text=True,
         cwd=cwd,
@@ -169,3 +186,85 @@ def test_help_exits_zero(entry):
     )
     assert proc.returncode == 0
     assert "--format" in proc.stdout
+# -- whole-program flags -----------------------------------------------------
+
+
+def test_explain_renders_rationale_and_examples(capsys):
+    assert lint_main(["--explain", "FLOW001"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("FLOW001 (project):")
+    assert "Violating:" in out and "Clean:" in out
+    assert "worker-entry" in out  # the docstring example survives rendering
+
+
+def test_explain_module_rule_and_unknown_rule(capsys):
+    assert lint_main(["--explain", "DET001"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("DET001 (module):")
+    assert lint_main(["--explain", "NOPE999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_graph_dump_is_json_with_entries(capsys):
+    assert lint_main([str(FIXTURES), "--no-defaults", "--graph"]) == 0
+    dump = json.loads(capsys.readouterr().out)
+    assert "lintpkg.flow001" in dump["modules"]
+    assert dump["modules"]["lintpkg.workloads.arch001"]["imports"] == [
+        "lintpkg.engine"
+    ]
+    assert "lintpkg.flow001.simulate" in dump["worker_entries"]
+    assert "lintpkg.race001.Board.post" in dump["thread_entries"]
+
+
+def test_jobs_output_matches_serial(capsys):
+    code1 = lint_main([str(FIXTURES), "--no-defaults", "--no-cache"])
+    serial = capsys.readouterr().out
+    code2 = lint_main([str(FIXTURES), "--no-defaults", "--no-cache", "--jobs", "4"])
+    parallel = capsys.readouterr().out
+    assert (code1, serial) == (code2, parallel)
+
+
+def test_changed_scopes_report_to_git_diff(tmp_path, capsys, monkeypatch):
+    def git(*args):
+        subprocess.run(
+            ["git", *args],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+            env={
+                **os.environ,
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+            },
+        )
+
+    (tmp_path / "clean.py").write_text("import time\nt = time.time()\n")
+    (tmp_path / "other.py").write_text("x = 1\n")
+    git("init", "-q")
+    git("add", ".")
+    git("commit", "-q", "-m", "seed")
+
+    monkeypatch.chdir(tmp_path)
+    # Nothing changed vs HEAD: the pre-existing violation is out of scope.
+    assert lint_main([str(tmp_path), "--no-defaults", "--changed"]) == 0
+    capsys.readouterr()
+
+    # Touch only other.py: clean.py's violation stays out of scope.
+    (tmp_path / "other.py").write_text("x = 2\n")
+    assert lint_main([str(tmp_path), "--no-defaults", "--changed"]) == 0
+    capsys.readouterr()
+
+    # Touch clean.py itself: now it is reported.
+    (tmp_path / "clean.py").write_text("import time\nt = time.time() + 1\n")
+    assert lint_main([str(tmp_path), "--no-defaults", "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "DET002" in out
+
+
+def test_changed_outside_git_is_usage_error(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "m.py").write_text("x = 1\n")
+    assert lint_main([str(tmp_path), "--no-defaults", "--changed"]) == 2
+    assert "--changed" in capsys.readouterr().err

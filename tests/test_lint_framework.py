@@ -85,6 +85,47 @@ def test_parse_suppressions_table_shape():
     assert suppression_for(table, 4, "IO001") is None
 
 
+def test_suppression_above_multiline_statement_covers_inner_lines(tmp_path):
+    """The marker anchors to the statement, not the physical line."""
+    result = _lint(
+        tmp_path,
+        "import time\n"
+        "# repro: allow[DET002] scheduling only\n"
+        "stamp = (\n"
+        "    1,\n"
+        "    time.time(),\n"
+        ")\n",
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_on_multiline_statement_head_covers_inner_lines(tmp_path):
+    result = _lint(
+        tmp_path,
+        "import time\n"
+        "stamp = (  # repro: allow[DET002] scheduling only\n"
+        "    time.time(),\n"
+        ")\n",
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_on_block_head_does_not_blanket_the_body(tmp_path):
+    """A marker above an ``if`` covers the ``if`` line, not every
+    single-line statement nested inside the block."""
+    result = _lint(
+        tmp_path,
+        "import time\n"
+        "# repro: allow[DET002] head only\n"
+        "if True:\n"
+        "    x = 1\n"
+        "    t = time.time()\n",
+    )
+    assert [f.rule for f in result.findings] == ["DET002"]
+
+
 # -- fingerprints ------------------------------------------------------------
 
 

@@ -1,4 +1,4 @@
-"""Per-rule behaviour of the nine reproducibility checkers.
+"""Per-rule behaviour of the reproducibility checkers.
 
 Two layers: the seeded-violation fixture package
 (``tests/fixtures/lintpkg`` — one active violation and one suppressed
@@ -25,6 +25,11 @@ RULE_IDS = (
     "TEL001",
     "IO001",
     "EXC001",
+    "FLOW001",
+    "FLOW002",
+    "RACE001",
+    "RACE002",
+    "ARCH001",
 )
 
 
@@ -38,7 +43,7 @@ def test_registry_exposes_exactly_the_contract_rules():
 
 
 def test_fixture_package_yields_one_finding_per_rule(fixture_result):
-    """9 seeded violations, 9 findings — nothing extra, nothing missed."""
+    """14 seeded violations, 14 findings — nothing extra, nothing missed."""
     fired = sorted(f.rule for f in fixture_result.findings)
     assert fired == sorted(RULE_IDS)
 
